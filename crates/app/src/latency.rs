@@ -1,0 +1,158 @@
+//! Response-time model for web-server instances.
+//!
+//! The paper's QoS argument is capacity-based (enough req/s provisioned),
+//! but the latency story explains *why* utilization near 1 is dangerous:
+//! a CPU-bound server behaves like an M/M/c queue whose response time
+//! diverges as utilization approaches saturation. This module provides a
+//! standard M/M/c approximation so examples and ablations can report
+//! latency percentiles alongside energy.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency estimate for one instance at a given operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyEstimate {
+    /// Offered utilization in `[0, 1)` (1 = saturated).
+    pub utilization: f64,
+    /// Mean service time of one request (s).
+    pub service_time_s: f64,
+    /// Mean response time (queueing + service) in seconds;
+    /// `f64::INFINITY` at or beyond saturation.
+    pub mean_response_s: f64,
+    /// Approximate 95th-percentile response time (s), exponential
+    /// response-time tail assumption.
+    pub p95_response_s: f64,
+}
+
+/// Erlang-C probability that an arriving request must queue in an M/M/c
+/// system with `c` servers and total utilization `rho` (per-system, in
+/// `[0, 1)`).
+pub fn erlang_c(c: u32, rho: f64) -> f64 {
+    assert!(c >= 1, "need at least one server");
+    assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+    let a = rho * f64::from(c); // offered load in Erlangs
+    // Sum_{k=0}^{c-1} a^k / k!  computed iteratively.
+    let mut term = 1.0; // a^0 / 0!
+    let mut sum = 1.0;
+    for k in 1..c {
+        term *= a / f64::from(k);
+        sum += term;
+    }
+    let top = term * a / f64::from(c) / (1.0 - rho); // a^c / c! * 1/(1-rho)
+    top / (sum + top)
+}
+
+/// Estimate the response time of an instance with `cores` parallel
+/// workers, per-request mean service time `service_time_s`, serving
+/// `offered_rps` requests per second.
+pub fn estimate_latency(cores: u32, service_time_s: f64, offered_rps: f64) -> LatencyEstimate {
+    assert!(cores >= 1);
+    assert!(service_time_s > 0.0);
+    let capacity = f64::from(cores) / service_time_s;
+    let rho = (offered_rps / capacity).max(0.0);
+    if rho >= 1.0 {
+        return LatencyEstimate {
+            utilization: rho,
+            service_time_s,
+            mean_response_s: f64::INFINITY,
+            p95_response_s: f64::INFINITY,
+        };
+    }
+    let pq = erlang_c(cores, rho);
+    // M/M/c mean wait: Pq * 1 / (c*mu - lambda).
+    let wait = pq / (capacity - offered_rps);
+    let mean = wait + service_time_s;
+    LatencyEstimate {
+        utilization: rho,
+        service_time_s,
+        // Exponential tail: P95 ~ mean * ln(20).
+        mean_response_s: mean,
+        p95_response_s: mean * 20.0f64.ln(),
+    }
+}
+
+/// Latency-aware safe operating point: the highest utilization at which
+/// the mean response time stays within `slo_s`. Returned as a fraction of
+/// capacity in `[0, 1)`; bisection over the closed-form model.
+pub fn max_utilization_for_slo(cores: u32, service_time_s: f64, slo_s: f64) -> f64 {
+    assert!(slo_s > service_time_s, "SLO below bare service time");
+    let capacity = f64::from(cores) / service_time_s;
+    let (mut lo, mut hi) = (0.0f64, 0.999_999f64);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        let est = estimate_latency(cores, service_time_s, mid * capacity);
+        if est.mean_response_s <= slo_s {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_c_single_server_is_rho() {
+        // M/M/1: probability of waiting equals utilization.
+        for rho in [0.1, 0.5, 0.9] {
+            assert!((erlang_c(1, rho) - rho).abs() < 1e-12, "rho {rho}");
+        }
+    }
+
+    #[test]
+    fn erlang_c_more_servers_less_queueing() {
+        let rho = 0.7;
+        let p1 = erlang_c(1, rho);
+        let p4 = erlang_c(4, rho);
+        let p16 = erlang_c(16, rho);
+        assert!(p1 > p4 && p4 > p16);
+    }
+
+    #[test]
+    fn latency_grows_with_load_and_diverges() {
+        let est_low = estimate_latency(4, 0.01, 50.0); // rho 0.125
+        let est_high = estimate_latency(4, 0.01, 380.0); // rho 0.95
+        assert!(est_low.mean_response_s < est_high.mean_response_s);
+        assert!(est_low.mean_response_s >= 0.01);
+        let sat = estimate_latency(4, 0.01, 400.0);
+        assert!(sat.mean_response_s.is_infinite());
+        assert!(sat.p95_response_s.is_infinite());
+    }
+
+    #[test]
+    fn idle_latency_is_service_time() {
+        let est = estimate_latency(8, 0.02, 0.0);
+        assert!((est.mean_response_s - 0.02).abs() < 1e-12);
+        assert_eq!(est.utilization, 0.0);
+    }
+
+    #[test]
+    fn p95_above_mean() {
+        let est = estimate_latency(2, 0.01, 150.0);
+        assert!(est.p95_response_s > est.mean_response_s);
+    }
+
+    #[test]
+    fn slo_operating_point_sane() {
+        // Raspberry-like: 4 cores, ~444 ms service time (9 req/s capacity).
+        let service = 4.0 / 9.0;
+        let u = max_utilization_for_slo(4, service, 2.0 * service);
+        assert!(u > 0.3 && u < 1.0, "u = {u}");
+        // A generous SLO allows running closer to saturation.
+        let u_loose = max_utilization_for_slo(4, service, 10.0 * service);
+        assert!(u_loose > u);
+        // The chosen point actually meets the SLO.
+        let capacity = 4.0 / service;
+        let est = estimate_latency(4, service, u * capacity);
+        assert!(est.mean_response_s <= 2.0 * service + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn erlang_c_rejects_saturation() {
+        let _ = erlang_c(2, 1.0);
+    }
+}

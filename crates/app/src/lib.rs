@@ -1,0 +1,26 @@
+//! # bml-app — application characterization and the stateless web server
+//!
+//! Substrate crate of the BML reproduction implementing paper Sec. III
+//! (application classes: QoS, load knowledge, malleability, migration) and
+//! the target application of Sec. V-A: a stateless web server behind a
+//! load balancer, whose per-request work reproduces the paper's CGI
+//! script (uniform 1000-2000 work units per request).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod characterization;
+pub mod latency;
+pub mod loadbalancer;
+pub mod migration;
+pub mod request;
+pub mod webserver;
+
+pub use characterization::{
+    ApplicationMetric, ApplicationSpec, LoadKnowledge, Malleability, MigrationCost, QosClass,
+};
+pub use loadbalancer::{balance, BalanceOutcome, BalancePolicy};
+pub use latency::{erlang_c, estimate_latency, max_utilization_for_slo, LatencyEstimate};
+pub use migration::{plan_migrations, MigrationPlan};
+pub use request::{Request, RequestGenerator};
+pub use webserver::{Fleet, WebServerInstance};

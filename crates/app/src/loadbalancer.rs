@@ -1,0 +1,237 @@
+//! The load balancer in front of the web-server fleet (paper Sec. V-A:
+//! "a load balancer could allow the load to be distributed among several
+//! web server instances").
+//!
+//! Three routing policies are provided; which one is active changes how
+//! much dynamic power the fleet draws (the simulator exposes this as an
+//! ablation) but, thanks to capacity capping, never changes *whether* the
+//! demand is served.
+
+use serde::{Deserialize, Serialize};
+
+use crate::webserver::Fleet;
+
+/// Request-routing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalancePolicy {
+    /// Weight instances by capacity (classic weighted round-robin).
+    ProportionalToCapacity,
+    /// Fill instances in decreasing capacity order (pack the Bigs first —
+    /// they have the lowest marginal power per request in the paper's
+    /// catalog).
+    FillBiggestFirst,
+    /// Split equally across instances, capped at each one's capacity;
+    /// overflow recirculates to instances with headroom.
+    EqualShare,
+}
+
+/// Outcome of one balancing round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BalanceOutcome {
+    /// Per-instance assigned rates (aligned with the fleet's instances).
+    pub assignments: Vec<f64>,
+    /// Load actually served (req/s).
+    pub served: f64,
+    /// Load dropped for lack of capacity (req/s).
+    pub dropped: f64,
+}
+
+/// Distribute `load` over `fleet` according to `policy`, updating the
+/// instances' `assigned_rps` in place and returning the outcome.
+pub fn balance(fleet: &mut Fleet, load: f64, policy: BalancePolicy) -> BalanceOutcome {
+    for i in &mut fleet.instances {
+        i.reset();
+    }
+    let capacity = fleet.capacity();
+    let served = load.clamp(0.0, capacity);
+    let dropped = (load - served).max(0.0);
+    let n = fleet.instances.len();
+    if n == 0 || served <= 0.0 {
+        return BalanceOutcome {
+            assignments: vec![0.0; n],
+            served: if n == 0 { 0.0 } else { served },
+            dropped: if n == 0 { load.max(0.0) } else { dropped },
+        };
+    }
+    match policy {
+        BalancePolicy::ProportionalToCapacity => {
+            for i in &mut fleet.instances {
+                let share = served * (i.capacity_rps / capacity);
+                let leftover = i.assign(share);
+                debug_assert!(leftover < 1e-9, "proportional shares always fit");
+            }
+        }
+        BalancePolicy::FillBiggestFirst => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                fleet.instances[b]
+                    .capacity_rps
+                    .partial_cmp(&fleet.instances[a].capacity_rps)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut rem = served;
+            for idx in order {
+                if rem <= 0.0 {
+                    break;
+                }
+                rem = fleet.instances[idx].assign(rem);
+            }
+        }
+        BalancePolicy::EqualShare => {
+            let mut rem = served;
+            // At most n rounds: each round at least one instance saturates
+            // or everything fits.
+            for _ in 0..n {
+                if rem <= 1e-12 {
+                    break;
+                }
+                let open: Vec<usize> = (0..n)
+                    .filter(|&i| fleet.instances[i].headroom() > 1e-12)
+                    .collect();
+                if open.is_empty() {
+                    break;
+                }
+                let share = rem / open.len() as f64;
+                let mut next_rem = 0.0;
+                for i in open {
+                    next_rem += fleet.instances[i].assign(share);
+                }
+                rem = next_rem;
+            }
+        }
+    }
+    let assignments = fleet.instances.iter().map(|i| i.assigned_rps).collect();
+    BalanceOutcome {
+        assignments,
+        served,
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Fleet {
+        // 1 Big (1331), 2 Mediums (33), capacities from the paper catalog.
+        Fleet::from_configuration(&[1, 2], &[1331.0, 33.0])
+    }
+
+    #[test]
+    fn proportional_split() {
+        let mut f = fleet();
+        let out = balance(&mut f, 100.0, BalancePolicy::ProportionalToCapacity);
+        assert_eq!(out.dropped, 0.0);
+        assert!((out.served - 100.0).abs() < 1e-9);
+        let cap = 1331.0 + 66.0;
+        assert!((out.assignments[0] - 100.0 * 1331.0 / cap).abs() < 1e-9);
+        assert!((out.assignments[1] - 100.0 * 33.0 / cap).abs() < 1e-9);
+        let total: f64 = out.assignments.iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_biggest_first_packs_big() {
+        let mut f = fleet();
+        let out = balance(&mut f, 100.0, BalancePolicy::FillBiggestFirst);
+        assert_eq!(out.assignments[0], 100.0);
+        assert_eq!(out.assignments[1], 0.0);
+        assert_eq!(out.assignments[2], 0.0);
+    }
+
+    #[test]
+    fn fill_biggest_first_spills_over() {
+        let mut f = fleet();
+        let out = balance(&mut f, 1340.0, BalancePolicy::FillBiggestFirst);
+        assert_eq!(out.assignments[0], 1331.0);
+        assert_eq!(out.assignments[1], 9.0);
+        assert_eq!(out.dropped, 0.0);
+    }
+
+    #[test]
+    fn equal_share_recirculates_overflow() {
+        let mut f = fleet();
+        // 300 / 3 = 100 each, but mediums cap at 33: the big absorbs the rest.
+        let out = balance(&mut f, 300.0, BalancePolicy::EqualShare);
+        assert!((out.assignments[1] - 33.0).abs() < 1e-9);
+        assert!((out.assignments[2] - 33.0).abs() < 1e-9);
+        assert!((out.assignments[0] - 234.0).abs() < 1e-9);
+        assert!((out.served - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_is_dropped_not_lost_track_of() {
+        let mut f = Fleet::from_configuration(&[0, 2], &[100.0, 33.0]);
+        for policy in [
+            BalancePolicy::ProportionalToCapacity,
+            BalancePolicy::FillBiggestFirst,
+            BalancePolicy::EqualShare,
+        ] {
+            let out = balance(&mut f, 1000.0, policy);
+            assert!((out.served - 66.0).abs() < 1e-9, "{policy:?}");
+            assert!((out.dropped - 934.0).abs() < 1e-9, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_fleet_drops_everything() {
+        let mut f = Fleet::new();
+        let out = balance(&mut f, 50.0, BalancePolicy::EqualShare);
+        assert_eq!(out.served, 0.0);
+        assert_eq!(out.dropped, 50.0);
+        assert!(out.assignments.is_empty());
+    }
+
+    #[test]
+    fn zero_and_negative_load() {
+        let mut f = fleet();
+        for policy in [
+            BalancePolicy::ProportionalToCapacity,
+            BalancePolicy::FillBiggestFirst,
+            BalancePolicy::EqualShare,
+        ] {
+            let out = balance(&mut f, 0.0, policy);
+            assert_eq!(out.served, 0.0);
+            assert_eq!(out.dropped, 0.0);
+            let out = balance(&mut f, -10.0, policy);
+            assert_eq!(out.served, 0.0);
+        }
+    }
+
+    #[test]
+    fn all_policies_serve_same_total() {
+        for load in [1.0, 50.0, 500.0, 1331.0, 1390.0, 5000.0] {
+            let mut served = Vec::new();
+            for policy in [
+                BalancePolicy::ProportionalToCapacity,
+                BalancePolicy::FillBiggestFirst,
+                BalancePolicy::EqualShare,
+            ] {
+                let mut f = fleet();
+                served.push(balance(&mut f, load, policy).served);
+            }
+            assert!((served[0] - served[1]).abs() < 1e-9, "load {load}");
+            assert!((served[1] - served[2]).abs() < 1e-9, "load {load}");
+        }
+    }
+
+    #[test]
+    fn no_instance_exceeds_capacity() {
+        for load in [10.0, 700.0, 1400.0, 9999.0] {
+            for policy in [
+                BalancePolicy::ProportionalToCapacity,
+                BalancePolicy::FillBiggestFirst,
+                BalancePolicy::EqualShare,
+            ] {
+                let mut f = fleet();
+                balance(&mut f, load, policy);
+                for i in &f.instances {
+                    assert!(
+                        i.assigned_rps <= i.capacity_rps + 1e-9,
+                        "{policy:?} load {load}"
+                    );
+                }
+            }
+        }
+    }
+}

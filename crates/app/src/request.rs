@@ -1,0 +1,105 @@
+//! The request/work model of the paper's benchmark application.
+//!
+//! The paper's web server runs a Python CGI script: "Each request consists
+//! in a loop of random number generation, while loop iterations is also
+//! chosen randomly between 1000 and 2000" (Sec. V-A). We reproduce that
+//! work distribution: a request carries a number of abstract *work units*
+//! drawn uniformly from `[1000, 2000]`, and a machine is characterized by
+//! how many work units it retires per second.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Work bounds of the paper's CGI script.
+pub const MIN_WORK_UNITS: u64 = 1000;
+/// Upper work bound of the paper's CGI script.
+pub const MAX_WORK_UNITS: u64 = 2000;
+
+/// Mean work units per request under the uniform distribution.
+pub const MEAN_WORK_UNITS: f64 = (MIN_WORK_UNITS + MAX_WORK_UNITS) as f64 / 2.0;
+
+/// One HTTP request and the work it demands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Work units (random loop iterations in the paper's CGI script).
+    pub work_units: u64,
+}
+
+/// Deterministic generator of request work, seeded.
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    rng: StdRng,
+}
+
+impl RequestGenerator {
+    /// New generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RequestGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw one request.
+    pub fn next_request(&mut self) -> Request {
+        Request {
+            work_units: self.rng.gen_range(MIN_WORK_UNITS..=MAX_WORK_UNITS),
+        }
+    }
+
+    /// Draw a batch of `n` requests.
+    pub fn batch(&mut self, n: usize) -> Vec<Request> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+}
+
+/// Convert a machine's request throughput (req/s, the application metric)
+/// into work-unit throughput (work units/s) under the mean request size.
+pub fn requests_to_work_rate(req_per_s: f64) -> f64 {
+    req_per_s * MEAN_WORK_UNITS
+}
+
+/// Convert a work-unit throughput back into the application metric.
+pub fn work_rate_to_requests(units_per_s: f64) -> f64 {
+    units_per_s / MEAN_WORK_UNITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_units_in_paper_range() {
+        let mut g = RequestGenerator::new(1);
+        for _ in 0..10_000 {
+            let r = g.next_request();
+            assert!((MIN_WORK_UNITS..=MAX_WORK_UNITS).contains(&r.work_units));
+        }
+    }
+
+    #[test]
+    fn work_units_mean_close_to_1500() {
+        let mut g = RequestGenerator::new(2);
+        let reqs = g.batch(50_000);
+        let mean =
+            reqs.iter().map(|r| r.work_units as f64).sum::<f64>() / reqs.len() as f64;
+        assert!((mean - MEAN_WORK_UNITS).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn generator_deterministic() {
+        let a: Vec<_> = RequestGenerator::new(7).batch(100);
+        let b: Vec<_> = RequestGenerator::new(7).batch(100);
+        assert_eq!(a, b);
+        let c: Vec<_> = RequestGenerator::new(8).batch(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rate_conversions_roundtrip() {
+        let req_rate = 33.0;
+        let work = requests_to_work_rate(req_rate);
+        assert_eq!(work, 33.0 * 1500.0);
+        assert!((work_rate_to_requests(work) - req_rate).abs() < 1e-12);
+    }
+}

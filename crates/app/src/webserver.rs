@@ -1,0 +1,220 @@
+//! The stateless web-server instance model (paper Sec. V-A).
+//!
+//! The paper's target application is a `lighttpd` server running a CPU-
+//! bound CGI script. One *instance* runs per powered-on machine; its
+//! request capacity is the `maxPerf` the profiling step measured for that
+//! machine's architecture. Statelessness means an instance can be
+//! "migrated by stopping a server instance and launching a new one on the
+//! destination machine, and then updating the load balancer".
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::MEAN_WORK_UNITS;
+
+/// A running web-server instance on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebServerInstance {
+    /// Unique instance id.
+    pub id: u64,
+    /// Candidate-architecture index of the hosting machine (0 = Big).
+    pub arch: usize,
+    /// Request capacity (req/s) of the hosting machine.
+    pub capacity_rps: f64,
+    /// Request rate currently routed to this instance by the balancer.
+    pub assigned_rps: f64,
+}
+
+impl WebServerInstance {
+    /// Fresh, unloaded instance.
+    pub fn new(id: u64, arch: usize, capacity_rps: f64) -> Self {
+        assert!(capacity_rps > 0.0, "capacity must be positive");
+        WebServerInstance {
+            id,
+            arch,
+            capacity_rps,
+            assigned_rps: 0.0,
+        }
+    }
+
+    /// Utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        (self.assigned_rps / self.capacity_rps).clamp(0.0, 1.0)
+    }
+
+    /// Remaining request headroom (req/s).
+    pub fn headroom(&self) -> f64 {
+        (self.capacity_rps - self.assigned_rps).max(0.0)
+    }
+
+    /// Work-unit throughput currently sustained (units/s).
+    pub fn work_rate(&self) -> f64 {
+        self.assigned_rps * MEAN_WORK_UNITS
+    }
+
+    /// Route `rate` additional req/s to this instance; returns the part
+    /// that did not fit.
+    pub fn assign(&mut self, rate: f64) -> f64 {
+        let take = rate.min(self.headroom());
+        self.assigned_rps += take;
+        rate - take
+    }
+
+    /// Clear the routed load (balancer rebuild).
+    pub fn reset(&mut self) {
+        self.assigned_rps = 0.0;
+    }
+}
+
+/// The fleet of instances currently registered at the load balancer:
+/// exactly one instance per powered-on machine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    /// Registered instances.
+    pub instances: Vec<WebServerInstance>,
+    next_id: u64,
+}
+
+impl Fleet {
+    /// Empty fleet.
+    pub fn new() -> Self {
+        Fleet::default()
+    }
+
+    /// Build a fleet matching a machine configuration: `counts[k]` nodes
+    /// of each architecture, each with capacity `capacities[k]`.
+    pub fn from_configuration(counts: &[u32], capacities: &[f64]) -> Self {
+        assert_eq!(counts.len(), capacities.len());
+        let mut fleet = Fleet::new();
+        for (k, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                fleet.start_instance(k, capacities[k]);
+            }
+        }
+        fleet
+    }
+
+    /// Launch a new instance on a machine of architecture `arch`.
+    pub fn start_instance(&mut self, arch: usize, capacity_rps: f64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.instances
+            .push(WebServerInstance::new(id, arch, capacity_rps));
+        id
+    }
+
+    /// Stop (deregister) an instance by id; `true` if it existed.
+    pub fn stop_instance(&mut self, id: u64) -> bool {
+        let before = self.instances.len();
+        self.instances.retain(|i| i.id != id);
+        self.instances.len() != before
+    }
+
+    /// Stop one instance of the given architecture (any), returning its id.
+    pub fn stop_one_of(&mut self, arch: usize) -> Option<u64> {
+        let pos = self.instances.iter().position(|i| i.arch == arch)?;
+        Some(self.instances.remove(pos).id)
+    }
+
+    /// Number of instances per architecture (length `n_archs`).
+    pub fn counts(&self, n_archs: usize) -> Vec<u32> {
+        let mut c = vec![0u32; n_archs];
+        for i in &self.instances {
+            c[i.arch] += 1;
+        }
+        c
+    }
+
+    /// Aggregate request capacity (req/s).
+    pub fn capacity(&self) -> f64 {
+        self.instances.iter().map(|i| i.capacity_rps).sum()
+    }
+
+    /// Total routed load (req/s).
+    pub fn assigned(&self) -> f64 {
+        self.instances.iter().map(|i| i.assigned_rps).sum()
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` when no instance runs.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_assignment_and_overflow() {
+        let mut i = WebServerInstance::new(0, 1, 33.0);
+        assert_eq!(i.assign(20.0), 0.0);
+        assert_eq!(i.assigned_rps, 20.0);
+        assert!((i.utilization() - 20.0 / 33.0).abs() < 1e-12);
+        // 20 more only 13 fit.
+        assert!((i.assign(20.0) - 7.0).abs() < 1e-12);
+        assert_eq!(i.headroom(), 0.0);
+        i.reset();
+        assert_eq!(i.assigned_rps, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = WebServerInstance::new(0, 0, 0.0);
+    }
+
+    #[test]
+    fn work_rate_uses_mean_request_size() {
+        let mut i = WebServerInstance::new(0, 0, 100.0);
+        i.assign(10.0);
+        assert_eq!(i.work_rate(), 15_000.0);
+    }
+
+    #[test]
+    fn fleet_from_configuration() {
+        let fleet = Fleet::from_configuration(&[1, 2, 0], &[1331.0, 33.0, 9.0]);
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet.counts(3), vec![1, 2, 0]);
+        assert_eq!(fleet.capacity(), 1331.0 + 66.0);
+    }
+
+    #[test]
+    fn fleet_start_stop() {
+        let mut fleet = Fleet::new();
+        let a = fleet.start_instance(0, 1331.0);
+        let b = fleet.start_instance(2, 9.0);
+        assert_ne!(a, b, "ids must be unique");
+        assert!(fleet.stop_instance(a));
+        assert!(!fleet.stop_instance(a));
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(fleet.stop_one_of(2), Some(b));
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.stop_one_of(2), None);
+    }
+
+    #[test]
+    fn fleet_ids_stay_unique_after_churn() {
+        let mut fleet = Fleet::new();
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..10 {
+            let id = fleet.start_instance(round % 3, 10.0);
+            assert!(seen.insert(id), "id {id} reused");
+            if round % 2 == 0 {
+                fleet.stop_instance(id);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_assigned_sums_instances() {
+        let mut fleet = Fleet::from_configuration(&[0, 2], &[100.0, 33.0]);
+        fleet.instances[0].assign(10.0);
+        fleet.instances[1].assign(5.0);
+        assert_eq!(fleet.assigned(), 15.0);
+    }
+}

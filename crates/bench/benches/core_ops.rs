@@ -1,0 +1,45 @@
+//! Criterion benches for the BML core algorithms: Step-5 fill, Steps 3-4
+//! threshold computation, the exact DP packer and full infrastructure
+//! construction.
+
+use bml_core::bml::BmlInfrastructure;
+use bml_core::catalog;
+use bml_core::combination::{ideal_fill, optimal_dp};
+use bml_core::crossing::compute_thresholds;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_ideal_fill(c: &mut Criterion) {
+    let trio = catalog::paper_bml_trio();
+    let thresholds: Vec<f64> = compute_thresholds(&trio).iter().map(|t| t.rate).collect();
+    let mut g = c.benchmark_group("ideal_fill");
+    for rate in [10.0, 529.0, 2000.0, 5323.0] {
+        g.bench_function(format!("rate_{rate}"), |b| {
+            b.iter(|| ideal_fill(black_box(&trio), black_box(&thresholds), black_box(rate)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_thresholds(c: &mut Criterion) {
+    let trio = catalog::paper_bml_trio();
+    c.bench_function("compute_thresholds_paper_trio", |b| {
+        b.iter(|| compute_thresholds(black_box(&trio)))
+    });
+}
+
+fn bench_build(c: &mut Criterion) {
+    let all = catalog::table1();
+    c.bench_function("bml_build_from_table1", |b| {
+        b.iter(|| BmlInfrastructure::build(black_box(&all)).unwrap())
+    });
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let trio = catalog::paper_bml_trio();
+    c.bench_function("optimal_dp_rate_2662", |b| {
+        b.iter(|| optimal_dp(black_box(&trio), black_box(2662)))
+    });
+}
+
+criterion_group!(benches, bench_ideal_fill, bench_thresholds, bench_build, bench_dp);
+criterion_main!(benches);

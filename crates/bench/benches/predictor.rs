@@ -1,0 +1,49 @@
+//! Criterion benches for trace machinery: the O(n) sliding-window-max
+//! table (build + query) and the World-Cup generator.
+
+use bml_trace::window::LookaheadMaxTable;
+use bml_trace::worldcup::{generate, WorldCupParams};
+use bml_trace::{LookaheadMaxPredictor, Predictor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn one_day_trace() -> bml_trace::LoadTrace {
+    generate(&WorldCupParams {
+        n_days: 1,
+        ..Default::default()
+    })
+}
+
+fn bench_window_build(c: &mut Criterion) {
+    let trace = one_day_trace();
+    c.bench_function("lookahead_table_build_1day", |b| {
+        b.iter(|| LookaheadMaxTable::new(black_box(&trace.rates), black_box(378)))
+    });
+}
+
+fn bench_window_query(c: &mut Criterion) {
+    let trace = one_day_trace();
+    let mut p = LookaheadMaxPredictor::new(&trace, 378);
+    c.bench_function("lookahead_predict_86400_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in 0..trace.len() {
+                acc += p.predict(black_box(t));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_worldcup_generation(c: &mut Criterion) {
+    c.bench_function("worldcup_generate_1day", |b| {
+        b.iter(|| {
+            generate(black_box(&WorldCupParams {
+                n_days: 1,
+                ..Default::default()
+            }))
+        })
+    });
+}
+
+criterion_group!(benches, bench_window_build, bench_window_query, bench_worldcup_generation);
+criterion_main!(benches);

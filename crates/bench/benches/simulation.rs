@@ -1,0 +1,47 @@
+//! Criterion benches for the simulator: one simulated day per scenario.
+
+use bml_core::bml::BmlInfrastructure;
+use bml_core::catalog;
+use bml_core::combination::SplitPolicy;
+use bml_sim::{scenarios, SimConfig};
+use bml_trace::worldcup::{generate, WorldCupParams};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn busy_day() -> bml_trace::LoadTrace {
+    // A tournament day with kick-off crowds: the adversarial case for the
+    // scheduler.
+    let p = WorldCupParams::default();
+    generate(&WorldCupParams {
+        first_day: p.tournament_start + 10,
+        n_days: 1,
+        ..p
+    })
+}
+
+fn bench_bml_day(c: &mut Criterion) {
+    let trace = busy_day();
+    let bml = BmlInfrastructure::build(&catalog::table1()).unwrap();
+    let config = SimConfig::default();
+    let mut g = c.benchmark_group("simulate_one_day");
+    g.sample_size(10);
+    g.bench_function("bml_proactive", |b| {
+        b.iter(|| scenarios::bml_proactive(black_box(&trace), black_box(&bml), black_box(&config)))
+    });
+    g.bench_function("lower_bound", |b| {
+        b.iter(|| scenarios::lower_bound_theoretical(black_box(&trace), black_box(&bml), SplitPolicy::EfficiencyGreedy))
+    });
+    let big = catalog::paravance();
+    g.bench_function("upper_bound_global", |b| {
+        b.iter(|| {
+            scenarios::upper_bound_global(
+                black_box(&trace),
+                black_box(&big),
+                SplitPolicy::EfficiencyGreedy,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bml_day);
+criterion_main!(benches);

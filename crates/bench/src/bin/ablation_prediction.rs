@@ -1,0 +1,61 @@
+//! Future-work experiment (paper Sec. VI) — impact of load prediction
+//! errors on reconfiguration decisions.
+//!
+//! Injects relative gaussian error into the look-ahead-max prediction and
+//! reports how energy, reconfiguration churn and QoS degrade with the
+//! error magnitude.
+//!
+//! ```text
+//! cargo run --release -p bml-bench --bin ablation_prediction [--days N] [--seed N] [--csv]
+//! ```
+
+use bml_bench::Args;
+use bml_core::bml::BmlInfrastructure;
+use bml_core::catalog;
+use bml_metrics::{joules_to_kwh, Table};
+use bml_sim::{runner::sweep_prediction_noise, SimConfig};
+use bml_trace::worldcup::{generate, WorldCupParams};
+
+fn main() {
+    let mut args = Args::parse();
+    if args.days == 87 {
+        args.days = 7;
+    }
+    let trace = generate(&WorldCupParams {
+        seed: args.seed,
+        n_days: args.days,
+        tournament_start: 8,
+        final_day: 6 + args.days.saturating_sub(2),
+        ..Default::default()
+    });
+    let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
+    let sigmas = [0.0, 0.02, 0.05, 0.1, 0.2, 0.4];
+    eprintln!("sweeping {} noise levels over {} days...", sigmas.len(), args.days);
+    let results = sweep_prediction_noise(&trace, &bml, &sigmas, args.seed, &SimConfig::default());
+
+    println!("Prediction-error ablation ({} days, seed {}):\n", args.days, args.seed);
+    let mut t = Table::new(&[
+        "sigma",
+        "energy (kWh)",
+        "reconfigs",
+        "boots",
+        "QoS shortfall (%)",
+        "worst shortfall (%)",
+    ]);
+    for (sigma, r) in &results {
+        t.row(&[
+            format!("{sigma:.2}"),
+            format!("{:.2}", joules_to_kwh(r.total_energy_j)),
+            format!("{}", r.reconfigurations),
+            format!("{}", r.nodes_switched_on),
+            format!("{:.4}", 100.0 * r.qos.shortfall_fraction()),
+            format!("{:.1}", 100.0 * r.qos.worst_shortfall),
+        ]);
+    }
+    if args.csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    println!("\nUnder-predictions erode QoS; over-predictions waste energy and churn machines.");
+}

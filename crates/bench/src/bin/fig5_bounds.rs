@@ -1,0 +1,92 @@
+//! Figure 5 — energy consumption comparison with lower and upper bounds
+//! over the World-Cup-like trace, days 6-92.
+//!
+//! Runs the four scenarios of paper Sec. V-C (UpperBound Global,
+//! UpperBound PerDay, Big-Medium-Little, LowerBound Theoretical), prints
+//! the per-day energies and the BML-vs-lower-bound overhead statistics
+//! the paper quotes (+32% average, +6.8% min, +161.4% max).
+//!
+//! ```text
+//! cargo run --release -p bml-bench --bin fig5_bounds [--days N] [--seed N] [--csv]
+//! ```
+
+use bml_bench::Args;
+use bml_core::bml::BmlInfrastructure;
+use bml_core::catalog;
+use bml_metrics::{fmt_percent, joules_to_kwh, Table};
+use bml_sim::{run_comparison, SimConfig};
+use bml_trace::worldcup::{generate, WorldCupParams};
+
+fn main() {
+    let args = Args::parse();
+    let params = WorldCupParams {
+        seed: args.seed,
+        n_days: args.days,
+        ..Default::default()
+    };
+    let trace = generate(&params);
+    let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
+    let config = SimConfig {
+        window: args.window,
+        ..Default::default()
+    };
+
+    eprintln!(
+        "simulating {} days ({} seconds) x 4 scenarios...",
+        args.days,
+        trace.len()
+    );
+    let c = run_comparison(&trace, &bml, &config);
+
+    println!("Fig. 5 — energy per day (kWh), days {}..={}:\n", c.first_day, c.first_day + args.days - 1);
+    let mut t = Table::new(&[
+        "day",
+        "UB Global",
+        "UB PerDay",
+        "BML",
+        "LB Theoretical",
+        "BML vs LB",
+    ]);
+    for d in 0..c.bml.daily_energy_j.len() {
+        let lb = c.lower_bound.daily_energy_j[d];
+        let bmld = c.bml.daily_energy_j[d];
+        t.row(&[
+            format!("{}", c.first_day + d as u32),
+            format!("{:.2}", joules_to_kwh(c.ub_global.daily_energy_j[d])),
+            format!("{:.2}", joules_to_kwh(c.ub_per_day.daily_energy_j[d])),
+            format!("{:.2}", joules_to_kwh(bmld)),
+            format!("{:.2}", joules_to_kwh(lb)),
+            fmt_percent(100.0 * (bmld - lb) / lb),
+        ]);
+    }
+    if args.csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+
+    println!("\nTotals over {} days:", args.days);
+    for s in c.scenarios() {
+        println!(
+            "  {:<22} {:>9.1} kWh  (mean {:>7.1} W, QoS shortfall {:.4}%, {} reconfigs, {} boots)",
+            s.name,
+            joules_to_kwh(s.total_energy_j),
+            s.mean_power_w,
+            100.0 * s.qos.shortfall_fraction(),
+            s.reconfigurations,
+            s.nodes_switched_on,
+        );
+    }
+    println!(
+        "\nBML vs theoretical lower bound (per-day): mean {}, min {}, max {}",
+        fmt_percent(c.bml_vs_lower.mean),
+        fmt_percent(c.bml_vs_lower.min),
+        fmt_percent(c.bml_vs_lower.max)
+    );
+    println!("Paper reports: mean +32%, min +6.8%, max +161.4% (on the real WC98 trace).");
+    let saved = 1.0 - c.bml.total_energy_j / c.ub_global.total_energy_j;
+    println!(
+        "BML saves {:.1}% of the energy of the classical over-provisioned data center.",
+        100.0 * saved
+    );
+}

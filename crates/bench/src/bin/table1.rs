@@ -1,0 +1,58 @@
+//! Table I — performance and power profiles of each architecture.
+//!
+//! Runs the Step-1 profiling harness (Siege-like ramp + wattmeter + On/Off
+//! measurement) against the five synthetic machine models and prints the
+//! measured profiles next to the values published in the paper.
+//!
+//! ```text
+//! cargo run --release -p bml-bench --bin table1 [--seed N] [--csv]
+//! ```
+
+use bml_bench::Args;
+use bml_core::catalog;
+use bml_metrics::Table;
+use bml_profiler::{paper_machines, profile_park, BenchmarkConfig, ProfilerConfig};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = ProfilerConfig {
+        benchmark: BenchmarkConfig {
+            seed: args.seed,
+            ..Default::default()
+        },
+        round_max_perf: true,
+    };
+    let measured = profile_park(&paper_machines(), &cfg);
+    let published = catalog::table1();
+
+    let mut table = Table::new(&[
+        "architecture",
+        "maxPerf (req/s)",
+        "idle-max power (W)",
+        "On (s)",
+        "On (J)",
+        "Off (s)",
+        "Off (J)",
+        "paper maxPerf",
+        "paper idle-max",
+    ]);
+    for (m, p) in measured.iter().zip(&published) {
+        table.row(&[
+            m.name.clone(),
+            format!("{:.0}", m.max_perf),
+            format!("{:.1} - {:.1}", m.idle_power, m.max_power),
+            format!("{:.0}", m.on_duration),
+            format!("{:.0}", m.on_energy),
+            format!("{:.0}", m.off_duration),
+            format!("{:.1}", m.off_energy),
+            format!("{:.0}", p.max_perf),
+            format!("{:.1} - {:.1}", p.idle_power, p.max_power),
+        ]);
+    }
+    println!("Table I — measured by the profiling harness (seed {}) vs paper:\n", args.seed);
+    if args.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,104 @@
+//! # bml-bench — experiment binaries and Criterion benches
+//!
+//! One binary per paper table/figure (see DESIGN.md's per-experiment
+//! index) plus ablation studies. This library hosts the tiny shared CLI
+//! helper the binaries use.
+
+#![warn(missing_docs)]
+
+/// Common command-line options of the experiment binaries.
+///
+/// Flags: `--seed N`, `--days N`, `--window S`, `--csv`, `--noise SIGMA`.
+/// Unknown flags abort with a usage message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// RNG seed (default 1998, the shipped experiment seed).
+    pub seed: u64,
+    /// Number of trace days to simulate (default 87, the paper's span).
+    pub days: u32,
+    /// Look-ahead window override (seconds); `None` = the paper's 378 s.
+    pub window: Option<u64>,
+    /// Emit CSV instead of aligned text tables.
+    pub csv: bool,
+    /// Prediction noise sigma for the ablations.
+    pub noise: f64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: 1998,
+            days: 87,
+            window: None,
+            csv: false,
+            noise: 0.0,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| die(&format!("missing value for {name}")))
+            };
+            match flag.as_str() {
+                "--seed" => out.seed = parse_num(&value("--seed"), "--seed"),
+                "--days" => out.days = parse_num(&value("--days"), "--days"),
+                "--window" => out.window = Some(parse_num(&value("--window"), "--window")),
+                "--noise" => out.noise = parse_num(&value("--noise"), "--noise"),
+                "--csv" => out.csv = true,
+                "--help" | "-h" => die("usage: [--seed N] [--days N] [--window S] [--noise SIGMA] [--csv]"),
+                other => die(&format!("unknown flag '{other}'")),
+            }
+        }
+        out
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value '{s}' for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.seed, 1998);
+        assert_eq!(a.days, 87);
+        assert_eq!(a.window, None);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&["--seed", "7", "--days", "3", "--window", "600", "--noise", "0.2", "--csv"]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.days, 3);
+        assert_eq!(a.window, Some(600));
+        assert_eq!(a.noise, 0.2);
+        assert!(a.csv);
+    }
+}

@@ -1,0 +1,178 @@
+//! Built-in architecture catalogs.
+//!
+//! Two catalogs ship with the library:
+//!
+//! * [`table1`] — the five real machines the paper profiled (Table I):
+//!   Paravance, Taurus, Graphene (Grid'5000 x86 servers), a Samsung
+//!   Chromebook (ARM Cortex-A15) and a Raspberry Pi 2B+ (ARM Cortex-A7).
+//!   Shipping these verbatim pins our experiments to the paper's numbers.
+//! * [`illustrative`] — four synthetic architectures A-D used by the paper's
+//!   Section IV walk-through (Figs. 1-2): A/B/C become Big/Medium/Little and
+//!   D is discarded at Step 2 because its maximum power exceeds A's while it
+//!   performs worse.
+
+use crate::profile::ArchProfile;
+
+/// Paravance (Grid'5000): 2x Intel Xeon E5-2630v3, 8 cores each.
+/// Paper Table I row 1.
+pub fn paravance() -> ArchProfile {
+    ArchProfile::new("paravance", 69.9, 200.5, 1331.0, 189.0, 21341.0, 10.0, 657.0)
+        .expect("catalog profile is valid")
+}
+
+/// Taurus (Grid'5000): 2x Intel Xeon E5-2630, 6 cores each.
+/// Paper Table I row 2. Removed at Step 2 (dominated by Paravance).
+pub fn taurus() -> ArchProfile {
+    ArchProfile::new("taurus", 95.8, 223.7, 860.0, 164.0, 20628.0, 11.0, 1173.0)
+        .expect("catalog profile is valid")
+}
+
+/// Graphene (Grid'5000): Intel Xeon X3440, 4 cores.
+/// Paper Table I row 3. Removed at Step 3 (never the most efficient option).
+pub fn graphene() -> ArchProfile {
+    ArchProfile::new("graphene", 47.7, 123.8, 272.0, 71.0, 4940.0, 16.0, 760.0)
+        .expect("catalog profile is valid")
+}
+
+/// Samsung Chromebook: ARM Cortex-A15, 2 cores.
+/// Paper Table I row 4. The *Medium* of the final infrastructure.
+pub fn chromebook() -> ArchProfile {
+    ArchProfile::new("chromebook", 4.0, 7.6, 33.0, 12.0, 49.3, 21.0, 77.6)
+        .expect("catalog profile is valid")
+}
+
+/// Raspberry Pi 2B+: ARM Cortex-A7, 4 cores.
+/// Paper Table I row 5. The *Little* of the final infrastructure.
+pub fn raspberry() -> ArchProfile {
+    ArchProfile::new("raspberry", 3.1, 3.7, 9.0, 16.0, 40.5, 14.0, 36.2)
+        .expect("catalog profile is valid")
+}
+
+/// All five profiled machines, in Table I order.
+pub fn table1() -> Vec<ArchProfile> {
+    vec![paravance(), taurus(), graphene(), chromebook(), raspberry()]
+}
+
+/// The three machines that survive Steps 2-3 on the paper's data:
+/// Paravance (Big), Chromebook (Medium), Raspberry (Little).
+pub fn paper_bml_trio() -> Vec<ArchProfile> {
+    vec![paravance(), chromebook(), raspberry()]
+}
+
+/// Illustrative architecture A of Section IV — becomes *Big*.
+///
+/// The paper never publishes numeric values for A-D (they exist only as
+/// curves in Figs. 1-2); these values are chosen so every qualitative
+/// property of the walk-through holds:
+/// Medium's threshold lands at 150 (Fig. 2 left: "around a performance
+/// rate of 150", below which "up to five Little nodes" are preferable),
+/// and Step 4 visibly raises Big's threshold over Step 3's.
+pub fn illustrative_a() -> ArchProfile {
+    ArchProfile::new("A", 70.0, 130.0, 500.0, 120.0, 11000.0, 10.0, 500.0)
+        .expect("catalog profile is valid")
+}
+
+/// Illustrative architecture B of Section IV — becomes *Medium*.
+pub fn illustrative_b() -> ArchProfile {
+    ArchProfile::new("B", 18.0, 46.8, 160.0, 40.0, 1300.0, 12.0, 300.0)
+        .expect("catalog profile is valid")
+}
+
+/// Illustrative architecture C of Section IV — becomes *Little*.
+pub fn illustrative_c() -> ArchProfile {
+    ArchProfile::new("C", 3.0, 9.0, 30.0, 15.0, 50.0, 12.0, 30.0)
+        .expect("catalog profile is valid")
+}
+
+/// Illustrative architecture D of Section IV — discarded at Step 2:
+/// its maximum power (140 W) exceeds A's (130 W) although it performs
+/// worse (450 < 500), so it "would not improve energy proportionality".
+pub fn illustrative_d() -> ArchProfile {
+    ArchProfile::new("D", 90.0, 140.0, 450.0, 100.0, 9500.0, 10.0, 450.0)
+        .expect("catalog profile is valid")
+}
+
+/// The four illustrative architectures of Section IV, Figure 1.
+pub fn illustrative() -> Vec<ArchProfile> {
+    vec![
+        illustrative_a(),
+        illustrative_b(),
+        illustrative_c(),
+        illustrative_d(),
+    ]
+}
+
+/// Look a catalog profile up by codename (case-insensitive).
+pub fn by_name(name: &str) -> Option<ArchProfile> {
+    let n = name.to_ascii_lowercase();
+    table1()
+        .into_iter()
+        .chain(illustrative())
+        .find(|p| p.name.to_ascii_lowercase() == n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        let par = &t[0];
+        assert_eq!(par.name, "paravance");
+        assert_eq!(par.max_perf, 1331.0);
+        assert_eq!(par.idle_power, 69.9);
+        assert_eq!(par.max_power, 200.5);
+        assert_eq!(par.on_duration, 189.0);
+        assert_eq!(par.on_energy, 21341.0);
+        assert_eq!(par.off_duration, 10.0);
+        assert_eq!(par.off_energy, 657.0);
+        let rasp = &t[4];
+        assert_eq!(rasp.max_perf, 9.0);
+        assert_eq!(rasp.idle_power, 3.1);
+        assert_eq!(rasp.max_power, 3.7);
+    }
+
+    #[test]
+    fn all_catalog_profiles_validate() {
+        for p in table1().into_iter().chain(illustrative()) {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn taurus_dominated_by_paravance() {
+        assert!(taurus().is_dominated_by(&paravance()));
+    }
+
+    #[test]
+    fn illustrative_d_dominated_by_a() {
+        assert!(illustrative_d().is_dominated_by(&illustrative_a()));
+    }
+
+    #[test]
+    fn illustrative_ordering_big_medium_little() {
+        let (a, b, c) = (illustrative_a(), illustrative_b(), illustrative_c());
+        assert!(a.max_perf > b.max_perf && b.max_perf > c.max_perf);
+        assert!(a.max_power > b.max_power && b.max_power > c.max_power);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("Paravance").unwrap().name, "paravance");
+        assert_eq!(by_name("a").unwrap().name, "A");
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn longest_on_duration_is_paravance_189s() {
+        // The paper's look-ahead window is 2 x the longest On duration
+        // (378 s); that longest duration is Paravance's 189 s.
+        let longest = table1()
+            .iter()
+            .map(|p| p.on_duration)
+            .fold(0.0f64, f64::max);
+        assert_eq!(longest, 189.0);
+    }
+}

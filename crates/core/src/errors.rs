@@ -1,0 +1,90 @@
+//! Error types for the BML core library.
+
+use std::fmt;
+
+/// Errors produced while building or operating a BML infrastructure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BmlError {
+    /// A profile failed validation (Step 1 sanity checks).
+    InvalidProfile {
+        /// Codename of the offending profile.
+        name: String,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// Candidate filtering left no usable architecture.
+    NoCandidates,
+    /// A requested performance rate cannot be satisfied (bounded machine
+    /// pools only; the paper's default assumes unlimited pools).
+    InsufficientCapacity {
+        /// The rate that was requested.
+        requested: f64,
+        /// The maximum rate the bounded pools can deliver.
+        available: f64,
+    },
+    /// An architecture index was out of range for this infrastructure.
+    UnknownArchitecture(usize),
+    /// A reconfiguration was requested while another is still in flight;
+    /// the paper forbids overlapping reconfigurations ("During the
+    /// reconfiguration, no other decision can be made").
+    ReconfigurationInFlight {
+        /// Time (s) at which the in-flight reconfiguration completes.
+        busy_until: u64,
+    },
+}
+
+impl fmt::Display for BmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmlError::InvalidProfile { name, reason } => {
+                write!(f, "invalid profile '{name}': {reason}")
+            }
+            BmlError::NoCandidates => {
+                write!(f, "no BML candidate architectures remain after filtering")
+            }
+            BmlError::InsufficientCapacity {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient capacity: requested {requested} but pools provide {available}"
+            ),
+            BmlError::UnknownArchitecture(i) => write!(f, "unknown architecture index {i}"),
+            BmlError::ReconfigurationInFlight { busy_until } => {
+                write!(f, "reconfiguration in flight until t={busy_until}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BmlError::InvalidProfile {
+            name: "x".into(),
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("invalid profile 'x'"));
+        assert!(BmlError::NoCandidates.to_string().contains("no BML"));
+        let e = BmlError::InsufficientCapacity {
+            requested: 10.0,
+            available: 5.0,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(BmlError::UnknownArchitecture(3).to_string().contains('3'));
+        assert!(BmlError::ReconfigurationInFlight { busy_until: 42 }
+            .to_string()
+            .contains("42"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(BmlError::NoCandidates);
+        assert!(!e.to_string().is_empty());
+    }
+}

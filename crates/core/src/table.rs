@@ -1,0 +1,129 @@
+//! Precomputed combination tables: the ideal combination and its power
+//! for every integer rate, built once and queried in O(1).
+//!
+//! The simulator asks "combination for rate r?" millions of times over an
+//! 87-day trace; rates in the paper's metric are integers, so the whole
+//! answer space up to the maximum provisioned rate fits in one table.
+//! This is also how a production controller would deploy the methodology:
+//! Steps 1-5 run offline, the table ships to the decision loop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bml::BmlInfrastructure;
+
+/// Precomputed per-integer-rate combinations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinationTable {
+    /// `counts[r]` = machines per architecture for rate `r`.
+    counts: Vec<Vec<u32>>,
+    /// `power[r]` = nominal combination power (W) at rate `r`.
+    power: Vec<f64>,
+    n_archs: usize,
+}
+
+impl CombinationTable {
+    /// Build the table for integer rates `0..=max_rate`.
+    pub fn build(bml: &BmlInfrastructure, max_rate: u64) -> Self {
+        let n_archs = bml.n_archs();
+        let mut counts = Vec::with_capacity(max_rate as usize + 1);
+        let mut power = Vec::with_capacity(max_rate as usize + 1);
+        for r in 0..=max_rate {
+            let combo = bml.ideal_combination(r as f64);
+            counts.push(combo.counts(n_archs));
+            power.push(combo.power(bml.candidates()));
+        }
+        CombinationTable {
+            counts,
+            power,
+            n_archs,
+        }
+    }
+
+    /// Highest rate covered by the table.
+    pub fn max_rate(&self) -> u64 {
+        (self.counts.len() - 1) as u64
+    }
+
+    /// Number of candidate architectures.
+    pub fn n_archs(&self) -> usize {
+        self.n_archs
+    }
+
+    /// Machine counts for `rate`, rounded up to the next integer; rates
+    /// beyond the table fall back to `None` (caller recomputes).
+    pub fn counts_for(&self, rate: f64) -> Option<&[u32]> {
+        if rate < 0.0 {
+            return self.counts.first().map(Vec::as_slice);
+        }
+        let idx = rate.ceil() as usize;
+        self.counts.get(idx).map(Vec::as_slice)
+    }
+
+    /// Nominal combination power (W) for `rate` (ceil-indexed).
+    pub fn power_for(&self, rate: f64) -> Option<f64> {
+        if rate < 0.0 {
+            return self.power.first().copied();
+        }
+        self.power.get(rate.ceil() as usize).copied()
+    }
+
+    /// Memory footprint estimate in bytes (diagnostics).
+    pub fn approx_bytes(&self) -> usize {
+        self.counts.len() * (self.n_archs * 4 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn table() -> (BmlInfrastructure, CombinationTable) {
+        let bml = BmlInfrastructure::build(&catalog::table1()).unwrap();
+        let t = CombinationTable::build(&bml, 5_400);
+        (bml, t)
+    }
+
+    #[test]
+    fn table_matches_direct_computation() {
+        let (bml, t) = table();
+        for r in [0u64, 1, 9, 10, 100, 528, 529, 1331, 2000, 5324] {
+            let direct = bml.ideal_combination(r as f64);
+            assert_eq!(
+                t.counts_for(r as f64).unwrap(),
+                direct.counts(3).as_slice(),
+                "rate {r}"
+            );
+            assert!((t.power_for(r as f64).unwrap() - direct.power(bml.candidates())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fractional_rates_round_up() {
+        let (bml, t) = table();
+        let direct = bml.ideal_combination(10.0);
+        assert_eq!(t.counts_for(9.2).unwrap(), direct.counts(3).as_slice());
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let (_, t) = table();
+        assert!(t.counts_for(5_401.0).is_none());
+        assert!(t.power_for(1e9).is_none());
+        assert_eq!(t.max_rate(), 5_400);
+    }
+
+    #[test]
+    fn negative_rate_maps_to_zero() {
+        let (_, t) = table();
+        assert_eq!(t.counts_for(-5.0).unwrap(), &[0, 0, 0]);
+        assert_eq!(t.power_for(-5.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn footprint_is_small() {
+        let (_, t) = table();
+        // ~5400 rates x 20 bytes: well under a megabyte.
+        assert!(t.approx_bytes() < 1_000_000);
+    }
+}

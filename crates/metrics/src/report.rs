@@ -1,0 +1,231 @@
+//! Report emitters: aligned text tables, CSV, and paper-vs-measured
+//! experiment records used by the per-figure binaries and EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned text table (monospace output for terminals and
+/// markdown code blocks).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with space-padded, column-aligned cells.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One paper-vs-measured record, the unit of EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"fig5"` or `"table1"`.
+    pub id: String,
+    /// What is being compared, e.g. `"BML mean overhead vs lower bound"`.
+    pub quantity: String,
+    /// The value the paper reports (as printed in the paper).
+    pub paper: String,
+    /// The value this reproduction measures.
+    pub measured: String,
+    /// Whether the reproduction preserves the paper's qualitative claim.
+    pub holds: bool,
+}
+
+impl ExperimentRecord {
+    /// Convenience constructor.
+    pub fn new(
+        id: &str,
+        quantity: &str,
+        paper: impl ToString,
+        measured: impl ToString,
+        holds: bool,
+    ) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            quantity: quantity.into(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+            holds,
+        }
+    }
+
+    /// Markdown table row (`| id | quantity | paper | measured | ok |`).
+    pub fn markdown_row(&self) -> String {
+        format!(
+            "| {} | {} | {} | {} | {} |",
+            self.id,
+            self.quantity,
+            self.paper,
+            self.measured,
+            if self.holds { "yes" } else { "NO" }
+        )
+    }
+}
+
+/// Render a full markdown table of records.
+pub fn markdown_table(records: &[ExperimentRecord]) -> String {
+    let mut out = String::from(
+        "| experiment | quantity | paper | measured | holds |\n|---|---|---|---|---|\n",
+    );
+    for r in records {
+        out.push_str(&r.markdown_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Format Watts with two decimals (e.g. `"200.50 W"`).
+pub fn fmt_watts(w: f64) -> String {
+    format!("{w:.2} W")
+}
+
+/// Format Joules adaptively (J / kJ / MJ / kWh for large values).
+pub fn fmt_energy(j: f64) -> String {
+    if j.abs() >= 3_600_000.0 {
+        format!("{:.2} kWh", j / 3_600_000.0)
+    } else if j.abs() >= 1_000_000.0 {
+        format!("{:.2} MJ", j / 1_000_000.0)
+    } else if j.abs() >= 1_000.0 {
+        format!("{:.2} kJ", j / 1_000.0)
+    } else {
+        format!("{j:.1} J")
+    }
+}
+
+/// Format a percentage with one decimal.
+pub fn fmt_percent(p: f64) -> String {
+    format!("{p:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Columns aligned: "value" column starts at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[3][col..col + 2], "22");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn table_csv() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn experiment_record_markdown() {
+        let r = ExperimentRecord::new("fig5", "mean overhead", "+32%", "+29.4%", true);
+        let row = r.markdown_row();
+        assert!(row.contains("| fig5 |"));
+        assert!(row.contains("| yes |"));
+        let r2 = ExperimentRecord::new("x", "q", 1, 2, false);
+        assert!(r2.markdown_row().contains("| NO |"));
+    }
+
+    #[test]
+    fn markdown_table_has_header_and_rows() {
+        let t = markdown_table(&[ExperimentRecord::new("a", "b", "c", "d", true)]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.starts_with("| experiment |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_watts(200.5), "200.50 W");
+        assert_eq!(fmt_energy(500.0), "500.0 J");
+        assert_eq!(fmt_energy(2_500.0), "2.50 kJ");
+        assert_eq!(fmt_energy(1_500_000.0), "1.50 MJ");
+        assert_eq!(fmt_energy(7_200_000.0), "2.00 kWh");
+        assert_eq!(fmt_percent(32.0), "+32.0%");
+        assert_eq!(fmt_percent(-6.8), "-6.8%");
+    }
+}

@@ -1,0 +1,35 @@
+//! # bml-profiler — the Step-1 profiling harness
+//!
+//! Substrate crate of the BML reproduction replacing the paper's physical
+//! testbed (Grid'5000 servers + ARM boards + WattsUp?Pro + Siege):
+//!
+//! * [`machine_model`] — synthetic machines with *hidden* ground truth
+//!   (per-core throughput, slightly non-linear power curve, boot/shutdown
+//!   ramps), parameterized so ideal measurements recover paper Table I;
+//! * [`wattmeter`] — 1 Hz power sampling with relative gaussian noise and
+//!   0.1 W quantization;
+//! * [`benchmark`] — the Siege protocol: concurrency ramp, 30 s runs,
+//!   5 repetitions averaged;
+//! * [`onoff`] — switch-on/off duration and energy measurement;
+//! * [`builder`] — assembling measurements into
+//!   [`bml_core::profile::ArchProfile`]s.
+//!
+//! The harness only sees what the paper's authors saw: offered load in,
+//! observed throughput and sampled power out. Tests verify the pipeline
+//! recovers Table I within measurement tolerance and that the *measured*
+//! profiles rebuild the paper's BML infrastructure.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod benchmark;
+pub mod builder;
+pub mod machine_model;
+pub mod onoff;
+pub mod wattmeter;
+
+pub use benchmark::{run_benchmark, BenchmarkConfig, BenchmarkResult};
+pub use builder::{profile_machine, profile_park, ProfilerConfig};
+pub use machine_model::{paper_machines, SyntheticMachine};
+pub use onoff::{measure_boot, measure_shutdown, TransitionMeasurement};
+pub use wattmeter::Wattmeter;

@@ -1,0 +1,33 @@
+//! # bml-sim — discrete-event data-center simulator
+//!
+//! Rust port of the role the paper's Python simulator plays (Sec. V-C):
+//! it "takes as input the experimental machine profiles, and a trace file
+//! describing the application load variation over time" and replays the
+//! pro-active BML scheduler against it at 1 Hz, accounting computation
+//! energy, On/Off transition energy, and QoS.
+//!
+//! * [`cluster`] — per-architecture machine pools with the
+//!   Off → Booting → On → ShuttingDown lifecycle and transition power
+//!   ramps that integrate exactly to the Table I transition energies;
+//! * [`engine`] — the per-second simulation loop driving the
+//!   `bml-core` scheduler with any `bml-trace` predictor;
+//! * [`qos`] — demand-vs-served accounting;
+//! * [`scenarios`] — the four Fig. 5 scenarios (two homogeneous upper
+//!   bounds, BML, the theoretical lower bound);
+//! * [`runner`] — rayon-parallel comparison and ablation sweeps.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod engine;
+pub mod qos;
+pub mod runner;
+pub mod scenarios;
+
+pub use cluster::{ArchPool, Cluster};
+pub use engine::{simulate_bml, FailureModel, ScenarioResult, SchedulerKind, SimConfig};
+pub use qos::QosReport;
+pub use runner::{
+    run_comparison, sweep_prediction_noise, sweep_split_policy, sweep_window, ComparisonResult,
+};

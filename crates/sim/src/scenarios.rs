@@ -1,0 +1,234 @@
+//! The four evaluation scenarios of paper Sec. V-C / Fig. 5.
+//!
+//! * [`upper_bound_global`] — "a homogeneous data center with constant
+//!   number of servers, computed according to the maximum request rate"
+//!   (4 Big machines always on for the paper's trace): classical
+//!   over-provisioning.
+//! * [`upper_bound_per_day`] — "dimensioned each day according to the
+//!   daily maximum rate": coarse-grain capacity planning.
+//! * [`bml_proactive`] — the paper's contribution: BML infrastructure +
+//!   pro-active scheduler, On/Off overheads included.
+//! * [`lower_bound_theoretical`] — "the minimum computing energy
+//!   achievable with BML... dimensioned every second with the ideal
+//!   combination", no On/Off latency or energy: unreachable floor.
+
+use bml_core::bml::BmlInfrastructure;
+use bml_core::combination::{config_power, SplitPolicy};
+use bml_core::profile::ArchProfile;
+use bml_metrics::EnergyMeter;
+use bml_trace::{LoadTrace, LookaheadMaxPredictor};
+
+use crate::engine::{simulate_bml, ScenarioResult, SimConfig};
+use crate::qos::QosReport;
+
+/// Machines needed to cover `rate` with nodes of capacity `max_perf`.
+fn nodes_for(rate: f64, max_perf: f64) -> u32 {
+    if rate <= 0.0 {
+        0
+    } else {
+        (rate / max_perf).ceil() as u32
+    }
+}
+
+/// Shared loop for the homogeneous upper bounds: `counts_for_day` gives
+/// the number of Big machines powered during each day.
+fn homogeneous_scenario(
+    name: &str,
+    trace: &LoadTrace,
+    big: &ArchProfile,
+    split: SplitPolicy,
+    counts_for_day: impl Fn(u32) -> u32,
+) -> ScenarioResult {
+    let profiles = std::slice::from_ref(big);
+    let mut meter = EnergyMeter::new();
+    let mut qos = QosReport::default();
+    for t in 0..trace.len() {
+        let day = (t / bml_trace::SECONDS_PER_DAY) as u32;
+        let n = counts_for_day(day);
+        let load = trace.get(t);
+        let (w, served) = config_power(profiles, &[n], load, split);
+        meter.record(w);
+        qos.record(load, served);
+    }
+    ScenarioResult {
+        name: name.into(),
+        daily_energy_j: meter.daily_joules().to_vec(),
+        total_energy_j: meter.total_joules(),
+        mean_power_w: meter.mean_power(),
+        qos,
+        reconfigurations: 0,
+        nodes_switched_on: 0,
+        nodes_switched_off: 0,
+        reconfig_energy_j: 0.0,
+        instance_migrations: 0,
+        failures_injected: 0,
+    }
+}
+
+/// `UpperBound Global`: a constant homogeneous fleet sized for the global
+/// maximum request rate of the whole trace.
+pub fn upper_bound_global(
+    trace: &LoadTrace,
+    big: &ArchProfile,
+    split: SplitPolicy,
+) -> ScenarioResult {
+    let n = nodes_for(trace.max(), big.max_perf);
+    homogeneous_scenario("UpperBound Global", trace, big, split, move |_| n)
+}
+
+/// `UpperBound PerDay`: a homogeneous fleet re-dimensioned each day for
+/// that day's maximum rate. Day-boundary switch costs are not charged —
+/// it is an upper *bound* on classical coarse-grain capacity planning.
+pub fn upper_bound_per_day(
+    trace: &LoadTrace,
+    big: &ArchProfile,
+    split: SplitPolicy,
+) -> ScenarioResult {
+    let daily: Vec<u32> = trace
+        .daily_max()
+        .iter()
+        .map(|&m| nodes_for(m, big.max_perf))
+        .collect();
+    homogeneous_scenario("UpperBound PerDay", trace, big, split, move |d| {
+        daily.get(d as usize).copied().unwrap_or(0)
+    })
+}
+
+/// `LowerBound Theoretical`: the ideal BML combination recomputed every
+/// second for the *actual* load, with free and instantaneous transitions.
+///
+/// Serving power uses the same load-split model as the live scenarios
+/// (the split across the powered-on machines of the second's ideal
+/// combination), so the bound is comparable second-by-second with the
+/// BML scenario rather than using the combination's nominal assignment.
+pub fn lower_bound_theoretical(
+    trace: &LoadTrace,
+    bml: &BmlInfrastructure,
+    split: SplitPolicy,
+) -> ScenarioResult {
+    let mut meter = EnergyMeter::new();
+    let mut qos = QosReport::default();
+    let n = bml.n_archs();
+    for t in 0..trace.len() {
+        let load = trace.get(t);
+        let counts = bml.ideal_combination(load).counts(n);
+        let (w, _) = config_power(bml.candidates(), &counts, load, split);
+        meter.record(w);
+        qos.record(load, load); // ideal combination always covers demand
+    }
+    ScenarioResult {
+        name: "LowerBound Theoretical".into(),
+        daily_energy_j: meter.daily_joules().to_vec(),
+        total_energy_j: meter.total_joules(),
+        mean_power_w: meter.mean_power(),
+        qos,
+        reconfigurations: 0,
+        nodes_switched_on: 0,
+        nodes_switched_off: 0,
+        reconfig_energy_j: 0.0,
+        instance_migrations: 0,
+        failures_injected: 0,
+    }
+}
+
+/// `Big-Medium-Little`: the paper's scenario — pro-active scheduler with
+/// the emulated look-ahead-max prediction.
+pub fn bml_proactive(
+    trace: &LoadTrace,
+    bml: &BmlInfrastructure,
+    config: &SimConfig,
+) -> ScenarioResult {
+    let window = config
+        .window
+        .unwrap_or_else(|| bml_core::scheduler::paper_window_length(bml.candidates()));
+    let mut predictor = LookaheadMaxPredictor::new(trace, window);
+    simulate_bml(trace, bml, &mut predictor, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bml_core::catalog;
+    use bml_trace::synthetic;
+
+    fn bml() -> BmlInfrastructure {
+        BmlInfrastructure::build(&catalog::table1()).unwrap()
+    }
+
+    #[test]
+    fn global_bound_sizes_for_peak() {
+        let trace = synthetic::flash_crowd(100.0, 5_000.0, 1_000, 60, 300.0, 5_000);
+        let big = catalog::paravance();
+        let r = upper_bound_global(&trace, &big, SplitPolicy::EfficiencyGreedy);
+        // 5000 req/s needs 4 Paravance; idle power of 4 machines always paid.
+        assert!(r.mean_power_w >= 4.0 * 69.9);
+        assert_eq!(r.qos.violation_seconds, 0);
+        assert_eq!(r.reconfigurations, 0);
+    }
+
+    #[test]
+    fn per_day_bound_tracks_daily_peaks() {
+        // Day 0 quiet (needs 1 Big), day 1 busy (needs 3).
+        let mut rates = vec![100.0; 86_400];
+        rates.extend(vec![3_500.0; 86_400]);
+        let trace = LoadTrace::new(0, rates);
+        let big = catalog::paravance();
+        let per_day = upper_bound_per_day(&trace, &big, SplitPolicy::EfficiencyGreedy);
+        let global = upper_bound_global(&trace, &big, SplitPolicy::EfficiencyGreedy);
+        assert_eq!(per_day.qos.violation_seconds, 0);
+        // Day 0: per-day (1 Big) cheaper than global (3 Bigs).
+        assert!(per_day.daily_energy_j[0] < global.daily_energy_j[0] * 0.5);
+        // Day 1: identical dimensioning.
+        assert!((per_day.daily_energy_j[1] - global.daily_energy_j[1]).abs() < 1e-6);
+        assert!(per_day.total_energy_j < global.total_energy_j);
+    }
+
+    #[test]
+    fn lower_bound_is_lowest() {
+        let trace = synthetic::diurnal(5.0, 2_000.0, 4.0, 1);
+        let bml = bml();
+        let lb = lower_bound_theoretical(&trace, &bml, SplitPolicy::EfficiencyGreedy);
+        let b = bml_proactive(&trace, &bml, &SimConfig::default());
+        let ub = upper_bound_global(&trace, &catalog::paravance(), SplitPolicy::EfficiencyGreedy);
+        assert!(
+            lb.total_energy_j <= b.total_energy_j,
+            "LB {} vs BML {}",
+            lb.total_energy_j,
+            b.total_energy_j
+        );
+        assert!(b.total_energy_j < ub.total_energy_j, "BML must beat over-provisioning");
+        assert_eq!(lb.qos.violation_seconds, 0);
+    }
+
+    #[test]
+    fn zero_load_day_draws_nothing_in_bounds() {
+        let trace = synthetic::constant(0.0, 1_000);
+        let big = catalog::paravance();
+        let r = upper_bound_global(&trace, &big, SplitPolicy::EfficiencyGreedy);
+        assert_eq!(r.total_energy_j, 0.0); // zero machines for zero peak
+        let lb = lower_bound_theoretical(&trace, &bml(), SplitPolicy::EfficiencyGreedy);
+        assert_eq!(lb.total_energy_j, 0.0);
+    }
+
+    #[test]
+    fn scenario_names_match_paper() {
+        let trace = synthetic::constant(10.0, 100);
+        let big = catalog::paravance();
+        assert_eq!(
+            upper_bound_global(&trace, &big, SplitPolicy::EfficiencyGreedy).name,
+            "UpperBound Global"
+        );
+        assert_eq!(
+            upper_bound_per_day(&trace, &big, SplitPolicy::EfficiencyGreedy).name,
+            "UpperBound PerDay"
+        );
+        assert_eq!(
+            lower_bound_theoretical(&trace, &bml(), SplitPolicy::EfficiencyGreedy).name,
+            "LowerBound Theoretical"
+        );
+        assert_eq!(
+            bml_proactive(&trace, &bml(), &SimConfig::default()).name,
+            "Big-Medium-Little"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the simulator: energy conservation, QoS and
+//! capacity invariants under random workloads.
+
+use bml_core::bml::BmlInfrastructure;
+use bml_core::catalog;
+use bml_core::combination::SplitPolicy;
+use bml_sim::engine::{simulate_bml, SimConfig};
+use bml_sim::runner::run_comparison;
+use bml_sim::scenarios;
+use bml_trace::{LoadTrace, LookaheadMaxPredictor};
+use proptest::prelude::*;
+
+fn bml() -> BmlInfrastructure {
+    BmlInfrastructure::build(&catalog::table1()).unwrap()
+}
+
+/// Random piecewise-constant workload: a few plateaus of random level and
+/// length — adversarial for the scheduler (steps at random offsets).
+fn arb_trace() -> impl Strategy<Value = LoadTrace> {
+    proptest::collection::vec((0.0f64..4_000.0, 50usize..800), 1..8).prop_map(|segments| {
+        let mut rates = Vec::new();
+        for (level, len) in segments {
+            rates.extend(std::iter::repeat(level.round()).take(len));
+        }
+        LoadTrace::new(0, rates)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn energy_is_finite_positive_and_daily_sums(trace in arb_trace()) {
+        let b = bml();
+        let mut p = LookaheadMaxPredictor::new(&trace, 378);
+        let r = simulate_bml(&trace, &b, &mut p, &SimConfig::default());
+        prop_assert!(r.total_energy_j.is_finite());
+        prop_assert!(r.total_energy_j >= 0.0);
+        let daily: f64 = r.daily_energy_j.iter().sum();
+        prop_assert!((daily - r.total_energy_j).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bml_between_bounds(trace in arb_trace()) {
+        let b = bml();
+        let c = run_comparison(&trace, &b, &SimConfig::default());
+        // Lower bound below BML; BML below the global upper bound
+        // (when there is any load at all).
+        prop_assert!(c.lower_bound.total_energy_j <= c.bml.total_energy_j + 1e-6);
+        if trace.max() > 0.0 {
+            prop_assert!(c.bml.total_energy_j <= c.ub_global.total_energy_j * 1.5 + 1e-6);
+            prop_assert!(c.ub_per_day.total_energy_j <= c.ub_global.total_energy_j + 1e-6);
+        }
+    }
+
+    #[test]
+    fn upper_bounds_never_violate_qos(trace in arb_trace()) {
+        let big = catalog::paravance();
+        let g = scenarios::upper_bound_global(&trace, &big, SplitPolicy::EfficiencyGreedy);
+        prop_assert_eq!(g.qos.violation_seconds, 0);
+        let d = scenarios::upper_bound_per_day(&trace, &big, SplitPolicy::EfficiencyGreedy);
+        prop_assert_eq!(d.qos.violation_seconds, 0);
+    }
+
+    #[test]
+    fn lower_bound_power_matches_ideal_curve(trace in arb_trace()) {
+        let b = bml();
+        let lb = scenarios::lower_bound_theoretical(&trace, &b, SplitPolicy::EfficiencyGreedy);
+        let manual: f64 = (0..trace.len())
+            .map(|t| {
+                let load = trace.get(t);
+                let counts = b.ideal_combination(load).counts(b.n_archs());
+                b.config_power(&counts, load, SplitPolicy::EfficiencyGreedy).0
+            })
+            .sum();
+        prop_assert!((lb.total_energy_j - manual).abs() < 1e-6);
+        // The greedy-split serving power never exceeds the combination's
+        // nominal assignment power (the published Fig.-4 curve).
+        let nominal: f64 = (0..trace.len()).map(|t| b.power_at(trace.get(t))).sum();
+        prop_assert!(lb.total_energy_j <= nominal + 1e-6);
+    }
+
+    #[test]
+    fn served_never_exceeds_demand(trace in arb_trace()) {
+        let b = bml();
+        let mut p = LookaheadMaxPredictor::new(&trace, 378);
+        let r = simulate_bml(&trace, &b, &mut p, &SimConfig::default());
+        prop_assert!(r.qos.total_served <= r.qos.total_demand + 1e-6);
+        prop_assert!(r.qos.worst_shortfall <= 1.0);
+        // Switch counts are consistent with at least one machine per
+        // reconfiguration.
+        if r.reconfigurations > 0 {
+            prop_assert!(r.nodes_switched_on + r.nodes_switched_off >= r.reconfigurations);
+        }
+    }
+
+    #[test]
+    fn warm_start_with_lookahead_keeps_qos_high(trace in arb_trace()) {
+        // With perfect windowed prediction and graceful handover, the
+        // shortfall stays tiny: only quantization effects at plan
+        // boundaries can leak demand.
+        let b = bml();
+        let mut p = LookaheadMaxPredictor::new(&trace, 378);
+        let r = simulate_bml(&trace, &b, &mut p, &SimConfig::default());
+        prop_assert!(
+            r.qos.shortfall_fraction() < 0.02,
+            "shortfall {}",
+            r.qos.shortfall_fraction()
+        );
+    }
+}

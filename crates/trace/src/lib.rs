@@ -1,0 +1,25 @@
+//! # bml-trace — workload traces and load predictors
+//!
+//! Substrate crate of the BML reproduction: per-second load traces
+//! ([`trace::LoadTrace`]), deterministic synthetic generators
+//! ([`synthetic`], and the World-Cup-98-like tournament workload in
+//! [`worldcup`] substituting the paper's 1998 World Cup trace), an O(n)
+//! sliding-window maximum ([`window`]) and the load predictors the
+//! pro-active scheduler consumes ([`predictor`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod predictor;
+pub mod synthetic;
+pub mod trace;
+pub mod wc98;
+pub mod window;
+pub mod worldcup;
+
+pub use predictor::{
+    EwmaPredictor, LastValuePredictor, LookaheadMaxPredictor, NoisyPredictor, OraclePredictor,
+    Predictor,
+};
+pub use trace::{LoadTrace, SECONDS_PER_DAY};
+pub use window::LookaheadMaxTable;

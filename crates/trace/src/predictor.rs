@@ -1,0 +1,303 @@
+//! Load predictors (paper Sec. III "knowledge of how load evolves" and
+//! Sec. V-C's emulated prediction mechanism).
+//!
+//! The paper emulates a *perfect* windowed prediction: "the maximum load
+//! value over a window of 378 seconds" of the real future trace
+//! ([`LookaheadMaxPredictor`]). The other predictors model the paper's
+//! load-knowledge classes: [`OraclePredictor`] (perfect instantaneous
+//! knowledge, used by the theoretical lower bound), [`LastValuePredictor`]
+//! (a purely reactive system with unknown load), [`EwmaPredictor`]
+//! (partial knowledge, smoothed), and [`NoisyPredictor`] which injects
+//! controlled error into any base predictor — the paper's announced
+//! future work on "the impact of load prediction errors".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::LoadTrace;
+use crate::window::LookaheadMaxTable;
+
+/// A load predictor consulted by the scheduler once per decision step.
+pub trait Predictor {
+    /// Predicted load the infrastructure must be able to serve from `now`.
+    fn predict(&mut self, now: u64) -> f64;
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's emulated prediction: maximum of the *actual future* load
+/// over a look-ahead window (378 s = 2x the longest switch-on duration in
+/// the paper's hardware).
+#[derive(Debug, Clone)]
+pub struct LookaheadMaxPredictor {
+    table: LookaheadMaxTable,
+}
+
+impl LookaheadMaxPredictor {
+    /// Precompute the windowed maxima for `trace` (O(n)).
+    pub fn new(trace: &LoadTrace, horizon: u64) -> Self {
+        LookaheadMaxPredictor {
+            table: LookaheadMaxTable::new(&trace.rates, horizon),
+        }
+    }
+
+    /// The look-ahead horizon in seconds.
+    pub fn horizon(&self) -> u64 {
+        self.table.horizon()
+    }
+}
+
+impl Predictor for LookaheadMaxPredictor {
+    fn predict(&mut self, now: u64) -> f64 {
+        self.table.max_from(now)
+    }
+    fn name(&self) -> &'static str {
+        "lookahead-max"
+    }
+}
+
+/// Perfect instantaneous knowledge: predicts exactly the current load.
+/// Dimensioning every second with this oracle and zero switching costs is
+/// the paper's `LowerBound Theoretical`.
+#[derive(Debug, Clone)]
+pub struct OraclePredictor {
+    rates: Vec<f64>,
+}
+
+impl OraclePredictor {
+    /// Wrap a trace.
+    pub fn new(trace: &LoadTrace) -> Self {
+        OraclePredictor {
+            rates: trace.rates.clone(),
+        }
+    }
+}
+
+impl Predictor for OraclePredictor {
+    fn predict(&mut self, now: u64) -> f64 {
+        self.rates.get(now as usize).copied().unwrap_or(0.0)
+    }
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+/// Purely reactive baseline for the "unknown load" class: predicts the
+/// last *observed* value (the load one step before `now`).
+#[derive(Debug, Clone)]
+pub struct LastValuePredictor {
+    rates: Vec<f64>,
+}
+
+impl LastValuePredictor {
+    /// Wrap a trace.
+    pub fn new(trace: &LoadTrace) -> Self {
+        LastValuePredictor {
+            rates: trace.rates.clone(),
+        }
+    }
+}
+
+impl Predictor for LastValuePredictor {
+    fn predict(&mut self, now: u64) -> f64 {
+        if now == 0 {
+            return 0.0;
+        }
+        self.rates.get(now as usize - 1).copied().unwrap_or(0.0)
+    }
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+}
+
+/// Exponentially weighted moving average over the observed past:
+/// `state = alpha * observation + (1 - alpha) * state`.
+///
+/// Robust to non-consecutive queries (the scheduler skips steps while a
+/// reconfiguration is in flight): all samples between the previous and the
+/// current query are folded in.
+#[derive(Debug, Clone)]
+pub struct EwmaPredictor {
+    rates: Vec<f64>,
+    alpha: f64,
+    state: f64,
+    next_sample: u64,
+}
+
+impl EwmaPredictor {
+    /// `alpha` in `(0, 1]`: weight of the newest observation.
+    pub fn new(trace: &LoadTrace, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        EwmaPredictor {
+            rates: trace.rates.clone(),
+            alpha,
+            state: 0.0,
+            next_sample: 0,
+        }
+    }
+}
+
+impl Predictor for EwmaPredictor {
+    fn predict(&mut self, now: u64) -> f64 {
+        // Fold every observation up to and including `now`.
+        let end = (now + 1).min(self.rates.len() as u64);
+        while self.next_sample < end {
+            let obs = self.rates[self.next_sample as usize];
+            self.state = self.alpha * obs + (1.0 - self.alpha) * self.state;
+            self.next_sample += 1;
+        }
+        self.state
+    }
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Error-injection wrapper: multiplies the base prediction by `1 + e`
+/// where `e ~ N(0, sigma)` truncated to `[-3 sigma, 3 sigma]`; results are
+/// clamped at 0. Deterministic given the seed.
+pub struct NoisyPredictor<P: Predictor> {
+    inner: P,
+    sigma: f64,
+    rng: StdRng,
+}
+
+impl<P: Predictor> NoisyPredictor<P> {
+    /// Wrap `inner`, injecting relative gaussian error of std-dev `sigma`.
+    pub fn new(inner: P, sigma: f64, seed: u64) -> Self {
+        assert!(sigma >= 0.0);
+        NoisyPredictor {
+            inner,
+            sigma,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One truncated gaussian sample via Box-Muller.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        z.clamp(-3.0, 3.0)
+    }
+}
+
+impl<P: Predictor> Predictor for NoisyPredictor<P> {
+    fn predict(&mut self, now: u64) -> f64 {
+        let base = self.inner.predict(now);
+        let e = self.gaussian() * self.sigma;
+        (base * (1.0 + e)).max(0.0)
+    }
+    fn name(&self) -> &'static str {
+        "noisy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> LoadTrace {
+        LoadTrace::new(0, vec![10.0, 50.0, 20.0, 80.0, 5.0, 5.0])
+    }
+
+    #[test]
+    fn lookahead_max_matches_window() {
+        let t = trace();
+        let mut p = LookaheadMaxPredictor::new(&t, 3);
+        assert_eq!(p.predict(0), 50.0); // max(10,50,20)
+        assert_eq!(p.predict(1), 80.0); // max(50,20,80)
+        assert_eq!(p.predict(3), 80.0);
+        assert_eq!(p.predict(4), 5.0);
+        assert_eq!(p.predict(100), 0.0);
+        assert_eq!(p.horizon(), 3);
+        assert_eq!(p.name(), "lookahead-max");
+    }
+
+    #[test]
+    fn oracle_is_identity() {
+        let t = trace();
+        let mut p = OraclePredictor::new(&t);
+        for (i, &r) in t.rates.iter().enumerate() {
+            assert_eq!(p.predict(i as u64), r);
+        }
+        assert_eq!(p.predict(99), 0.0);
+    }
+
+    #[test]
+    fn last_value_lags_by_one() {
+        let t = trace();
+        let mut p = LastValuePredictor::new(&t);
+        assert_eq!(p.predict(0), 0.0);
+        assert_eq!(p.predict(1), 10.0);
+        assert_eq!(p.predict(4), 80.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let t = LoadTrace::new(0, vec![100.0; 500]);
+        let mut p = EwmaPredictor::new(&t, 0.05);
+        let v = p.predict(499);
+        assert!((v - 100.0).abs() < 1.0, "ewma {v}");
+    }
+
+    #[test]
+    fn ewma_handles_skipped_steps() {
+        let t = trace();
+        let mut a = EwmaPredictor::new(&t, 0.5);
+        let mut b = EwmaPredictor::new(&t, 0.5);
+        // a queried every step, b only at the end: same folded state.
+        let mut last = 0.0;
+        for i in 0..6 {
+            last = a.predict(i);
+        }
+        assert_eq!(b.predict(5), last);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = EwmaPredictor::new(&trace(), 0.0);
+    }
+
+    #[test]
+    fn noisy_zero_sigma_is_transparent() {
+        let t = trace();
+        let mut p = NoisyPredictor::new(OraclePredictor::new(&t), 0.0, 1);
+        assert_eq!(p.predict(3), 80.0);
+    }
+
+    #[test]
+    fn noisy_is_deterministic_per_seed() {
+        let t = trace();
+        let mut p1 = NoisyPredictor::new(OraclePredictor::new(&t), 0.2, 42);
+        let mut p2 = NoisyPredictor::new(OraclePredictor::new(&t), 0.2, 42);
+        for i in 0..6 {
+            assert_eq!(p1.predict(i), p2.predict(i));
+        }
+    }
+
+    #[test]
+    fn noisy_stays_nonnegative_and_bounded() {
+        let t = LoadTrace::new(0, vec![100.0; 1000]);
+        let mut p = NoisyPredictor::new(OraclePredictor::new(&t), 0.3, 7);
+        for i in 0..1000 {
+            let v = p.predict(i);
+            assert!(v >= 0.0);
+            // Truncated at 3 sigma: 100 * (1 ± 0.9).
+            assert!(v <= 190.0 + 1e-9, "prediction {v}");
+        }
+    }
+
+    #[test]
+    fn noisy_error_distribution_sane() {
+        let t = LoadTrace::new(0, vec![100.0; 5000]);
+        let mut p = NoisyPredictor::new(OraclePredictor::new(&t), 0.1, 9);
+        let preds: Vec<f64> = (0..5000).map(|i| p.predict(i)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+        let var = preds.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / preds.len() as f64;
+        let sd = var.sqrt();
+        assert!((sd - 10.0).abs() < 2.0, "sd {sd}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Capacity planning for a custom machine park: profile *your* hardware
+//! models with the Step-1 harness, build the BML infrastructure from the
+//! measurements, and read off the purchase/deployment plan for a target
+//! load profile.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use bml::prelude::*;
+use bml::profiler::SyntheticMachine;
+
+fn main() {
+    // A fictional procurement short-list: a beefy dual-socket server, a
+    // mid-range edge box, an efficient ARM blade, and an old power-hungry
+    // server someone wants to keep using.
+    let park = vec![
+        SyntheticMachine {
+            name: "dual-xeon".into(),
+            cores: 32,
+            units_per_core_s: 90_000.0,
+            idle_w: 85.0,
+            peak_w: 260.0,
+            linearity: 0.9,
+            boot_s: 150.0,
+            boot_power_w: 120.0,
+            shutdown_s: 12.0,
+            shutdown_power_w: 80.0,
+        },
+        SyntheticMachine {
+            name: "edge-box".into(),
+            cores: 8,
+            units_per_core_s: 60_000.0,
+            idle_w: 18.0,
+            peak_w: 65.0,
+            linearity: 0.93,
+            boot_s: 45.0,
+            boot_power_w: 30.0,
+            shutdown_s: 8.0,
+            shutdown_power_w: 20.0,
+        },
+        SyntheticMachine {
+            name: "arm-blade".into(),
+            cores: 4,
+            units_per_core_s: 20_000.0,
+            idle_w: 2.5,
+            peak_w: 6.5,
+            linearity: 0.96,
+            boot_s: 10.0,
+            boot_power_w: 4.0,
+            shutdown_s: 6.0,
+            shutdown_power_w: 3.0,
+        },
+        SyntheticMachine {
+            name: "legacy-hog".into(),
+            cores: 16,
+            units_per_core_s: 80_000.0,
+            idle_w: 180.0,
+            peak_w: 320.0,
+            linearity: 0.88,
+            boot_s: 240.0,
+            boot_power_w: 200.0,
+            shutdown_s: 20.0,
+            shutdown_power_w: 150.0,
+        },
+    ];
+
+    // Step 1: measure.
+    let profiles = profile_park(&park, &ProfilerConfig::paper());
+    println!("Measured profiles:");
+    for p in &profiles {
+        println!(
+            "  {:<10} maxPerf {:>6.0} req/s, {:>6.1}-{:>6.1} W, boot {:>4.0} s / {:>7.0} J",
+            p.name, p.max_perf, p.idle_power, p.max_power, p.on_duration, p.on_energy
+        );
+    }
+
+    // Steps 2-4: build.
+    let infra = BmlInfrastructure::build(&profiles).expect("park profiles are valid");
+    println!("\nBML verdict:");
+    let labels = infra.labels();
+    for (p, label) in infra.candidates().iter().zip(&labels) {
+        println!("  {:<10} -> {label}", p.name);
+    }
+    for (p, why) in infra.removed() {
+        println!("  {:<10} -> REJECTED ({why:?})", p.name);
+    }
+    println!("Thresholds: {:?} req/s", infra.threshold_rates());
+
+    // Step 5 as a planning table: machines needed at representative loads,
+    // including a bounded-pool check (only 2 dual-xeons in stock).
+    println!("\nDeployment plan (unlimited pools):");
+    for rate in [5.0, 50.0, 300.0, 1_000.0, 3_000.0] {
+        let c = infra.ideal_combination(rate).counts(infra.n_archs());
+        let names: Vec<String> = infra
+            .candidates()
+            .iter()
+            .zip(&c)
+            .filter(|(_, &n)| n > 0)
+            .map(|(p, &n)| format!("{}x {}", n, p.name))
+            .collect();
+        println!(
+            "  {:>6.0} req/s -> {:<40} {:>8.1} W",
+            rate,
+            names.join(" + "),
+            infra.power_at(rate)
+        );
+    }
+
+    let limits = vec![2u32; infra.n_archs()];
+    println!("\nBounded pools (2 of each):");
+    match infra.ideal_combination_bounded(3_000.0, &limits) {
+        Ok(combo) => {
+            let c = combo.counts(infra.n_archs());
+            println!("  3000 req/s -> {c:?} ({:.1} W)", combo.power(infra.candidates()));
+        }
+        Err(e) => println!("  3000 req/s -> {e}"),
+    }
+    match infra.ideal_combination_bounded(50_000.0, &limits) {
+        Ok(_) => println!("  50000 req/s -> unexpectedly feasible"),
+        Err(e) => println!("  50000 req/s -> {e}"),
+    }
+}
