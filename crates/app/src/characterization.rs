@@ -218,7 +218,10 @@ mod tests {
     fn qos_shortfall_tolerances() {
         assert_eq!(QosClass::Critical.tolerated_shortfall(), 0.0);
         assert_eq!(
-            QosClass::Tolerant { max_shortfall: 0.05 }.tolerated_shortfall(),
+            QosClass::Tolerant {
+                max_shortfall: 0.05
+            }
+            .tolerated_shortfall(),
             0.05
         );
         let q = QosClass::Intermediate {

@@ -31,7 +31,7 @@ pub fn erlang_c(c: u32, rho: f64) -> f64 {
     assert!(c >= 1, "need at least one server");
     assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
     let a = rho * f64::from(c); // offered load in Erlangs
-    // Sum_{k=0}^{c-1} a^k / k!  computed iteratively.
+                                // Sum_{k=0}^{c-1} a^k / k!  computed iteratively.
     let mut term = 1.0; // a^0 / 0!
     let mut sum = 1.0;
     for k in 1..c {

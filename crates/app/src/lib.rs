@@ -19,8 +19,8 @@ pub mod webserver;
 pub use characterization::{
     ApplicationMetric, ApplicationSpec, LoadKnowledge, Malleability, MigrationCost, QosClass,
 };
-pub use loadbalancer::{balance, BalanceOutcome, BalancePolicy};
 pub use latency::{erlang_c, estimate_latency, max_utilization_for_slo, LatencyEstimate};
+pub use loadbalancer::{balance, BalanceOutcome, BalancePolicy};
 pub use migration::{plan_migrations, MigrationPlan};
 pub use request::{Request, RequestGenerator};
 pub use webserver::{Fleet, WebServerInstance};

@@ -81,8 +81,7 @@ mod tests {
     fn work_units_mean_close_to_1500() {
         let mut g = RequestGenerator::new(2);
         let reqs = g.batch(50_000);
-        let mean =
-            reqs.iter().map(|r| r.work_units as f64).sum::<f64>() / reqs.len() as f64;
+        let mean = reqs.iter().map(|r| r.work_units as f64).sum::<f64>() / reqs.len() as f64;
         assert!((mean - MEAN_WORK_UNITS).abs() < 10.0, "mean {mean}");
     }
 

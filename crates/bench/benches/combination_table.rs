@@ -1,0 +1,127 @@
+//! The scheduler hot path: direct greedy `ideal_combination` versus the
+//! precomputed piecewise `CombinationTable` lookups.
+//!
+//! Each benchmark sweeps the same 4096 pseudo-random rates spanning the
+//! paper catalog's interesting range (sub-Little up to several Big
+//! periods), so the figures are directly comparable:
+//!
+//! * `direct` — the paper's greedy fill, recomputed per query (what every
+//!   simulated second cost before the table existed);
+//! * `table_lookup` — the O(log segments) piecewise lookup behind
+//!   `BmlInfrastructure::ideal_combination`;
+//! * `table_counts_into` — allocation-free counts into a reused buffer
+//!   (the `LowerBound Theoretical` per-second path);
+//! * `table_counts_match` — the allocation-free no-change test the
+//!   pro-active scheduler runs once per second on steady load.
+
+use bml_core::bml::BmlInfrastructure;
+use bml_core::catalog;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Deterministic rate sweep: 4096 points over [0, ~4 Big periods).
+fn rate_sweep() -> Vec<f64> {
+    (0..4096u64).map(|i| (i as f64 * 137.13) % 5400.0).collect()
+}
+
+fn bench_ideal_combination_paths(c: &mut Criterion) {
+    let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
+    let rates = rate_sweep();
+    let mut g = c.benchmark_group("ideal_combination");
+
+    g.bench_function("direct", |b| {
+        b.iter(|| {
+            rates
+                .iter()
+                .map(|&r| bml.ideal_combination_direct(black_box(r)).total_nodes())
+                .sum::<u32>()
+        })
+    });
+
+    g.bench_function("table_lookup", |b| {
+        b.iter(|| {
+            rates
+                .iter()
+                .map(|&r| bml.ideal_combination(black_box(r)).total_nodes())
+                .sum::<u32>()
+        })
+    });
+
+    g.bench_function("table_counts_into", |b| {
+        let table = bml.combination_table();
+        let mut counts = vec![0u32; bml.n_archs()];
+        b.iter(|| {
+            rates
+                .iter()
+                .map(|&r| {
+                    table.counts_into(black_box(r), &mut counts);
+                    counts.iter().sum::<u32>()
+                })
+                .sum::<u32>()
+        })
+    });
+
+    g.bench_function("table_counts_match", |b| {
+        let table = bml.combination_table();
+        let steady = table.counts_for(100.0);
+        b.iter(|| {
+            rates
+                .iter()
+                .filter(|&&r| table.counts_match(black_box(r), &steady))
+                .count()
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_power_paths(c: &mut Criterion) {
+    let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
+    let rates = rate_sweep();
+    let mut g = c.benchmark_group("power_at");
+
+    g.bench_function("direct_combination_power", |b| {
+        b.iter(|| {
+            rates
+                .iter()
+                .map(|&r| {
+                    bml.ideal_combination_direct(black_box(r))
+                        .power(bml.candidates())
+                })
+                .sum::<f64>()
+        })
+    });
+
+    g.bench_function("table_power_for", |b| {
+        b.iter(|| {
+            rates
+                .iter()
+                .map(|&r| bml.power_at(black_box(r)))
+                .sum::<f64>()
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    // One-off cost paid per infrastructure: worth knowing it stays tiny.
+    let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
+    let thresholds = bml.threshold_rates();
+    c.bench_function("combination_table_build", |b| {
+        b.iter(|| {
+            bml_core::table::CombinationTable::build(
+                black_box(bml.candidates()),
+                black_box(&thresholds),
+            )
+            .n_segments()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ideal_combination_paths,
+    bench_power_paths,
+    bench_table_build,
+);
+criterion_main!(benches);

@@ -41,5 +41,11 @@ fn bench_dp(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ideal_fill, bench_thresholds, bench_build, bench_dp);
+criterion_group!(
+    benches,
+    bench_ideal_fill,
+    bench_thresholds,
+    bench_build,
+    bench_dp
+);
 criterion_main!(benches);

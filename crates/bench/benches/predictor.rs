@@ -45,5 +45,10 @@ fn bench_worldcup_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_window_build, bench_window_query, bench_worldcup_generation);
+criterion_group!(
+    benches,
+    bench_window_build,
+    bench_window_query,
+    bench_worldcup_generation
+);
 criterion_main!(benches);

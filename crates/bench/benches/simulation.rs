@@ -28,7 +28,13 @@ fn bench_bml_day(c: &mut Criterion) {
         b.iter(|| scenarios::bml_proactive(black_box(&trace), black_box(&bml), black_box(&config)))
     });
     g.bench_function("lower_bound", |b| {
-        b.iter(|| scenarios::lower_bound_theoretical(black_box(&trace), black_box(&bml), SplitPolicy::EfficiencyGreedy))
+        b.iter(|| {
+            scenarios::lower_bound_theoretical(
+                black_box(&trace),
+                black_box(&bml),
+                SplitPolicy::EfficiencyGreedy,
+            )
+        })
     });
     let big = catalog::paravance();
     g.bench_function("upper_bound_global", |b| {

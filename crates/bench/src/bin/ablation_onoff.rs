@@ -44,7 +44,10 @@ fn main() {
         ..Default::default()
     });
 
-    println!("On/Off overhead ablation ({} days, seed {}):\n", args.days, args.seed);
+    println!(
+        "On/Off overhead ablation ({} days, seed {}):\n",
+        args.days, args.seed
+    );
     let mut t = Table::new(&[
         "cost factor",
         "window (s)",

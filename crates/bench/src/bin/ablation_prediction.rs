@@ -30,10 +30,17 @@ fn main() {
     });
     let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
     let sigmas = [0.0, 0.02, 0.05, 0.1, 0.2, 0.4];
-    eprintln!("sweeping {} noise levels over {} days...", sigmas.len(), args.days);
+    eprintln!(
+        "sweeping {} noise levels over {} days...",
+        sigmas.len(),
+        args.days
+    );
     let results = sweep_prediction_noise(&trace, &bml, &sigmas, args.seed, &SimConfig::default());
 
-    println!("Prediction-error ablation ({} days, seed {}):\n", args.days, args.seed);
+    println!(
+        "Prediction-error ablation ({} days, seed {}):\n",
+        args.days, args.seed
+    );
     let mut t = Table::new(&[
         "sigma",
         "energy (kWh)",

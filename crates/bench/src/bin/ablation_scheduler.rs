@@ -28,7 +28,10 @@ fn main() {
     let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
     let results = sweep_scheduler(&trace, &bml, &SimConfig::default());
 
-    println!("Scheduler ablation ({} days, seed {}):\n", args.days, args.seed);
+    println!(
+        "Scheduler ablation ({} days, seed {}):\n",
+        args.days, args.seed
+    );
     let mut t = Table::new(&[
         "scheduler",
         "energy (kWh)",

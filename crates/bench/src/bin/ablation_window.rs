@@ -29,10 +29,17 @@ fn main() {
     });
     let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
     let windows = [60u64, 189, 378, 756, 1800, 3600];
-    eprintln!("sweeping {} windows over {} days...", windows.len(), args.days);
+    eprintln!(
+        "sweeping {} windows over {} days...",
+        windows.len(),
+        args.days
+    );
     let results = sweep_window(&trace, &bml, &windows, &SimConfig::default());
 
-    println!("Window-length ablation ({} days, seed {}):\n", args.days, args.seed);
+    println!(
+        "Window-length ablation ({} days, seed {}):\n",
+        args.days, args.seed
+    );
     let mut t = Table::new(&[
         "window (s)",
         "energy (kWh)",

@@ -24,7 +24,11 @@ fn main() {
     let step4 = compute_thresholds(&abc);
 
     println!("Fig. 2 — minimum utilization thresholds (A=Big, B=Medium, C=Little):\n");
-    let mut t = Table::new(&["architecture", "step 3 (pairwise)", "step 4 (vs combinations)"]);
+    let mut t = Table::new(&[
+        "architecture",
+        "step 3 (pairwise)",
+        "step 4 (vs combinations)",
+    ]);
     for (i, name) in ["A (Big)", "B (Medium)", "C (Little)"].iter().enumerate() {
         t.row(&[
             name.to_string(),

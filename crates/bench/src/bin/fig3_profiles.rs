@@ -24,12 +24,23 @@ fn main() {
     let profiles = profile_park(&paper_machines(), &cfg);
 
     println!("Fig. 3 — measured power/performance profiles (linear model, one node):\n");
-    let mut t = Table::new(&["utilization", "paravance", "taurus", "graphene", "chromebook", "raspberry"]);
+    let mut t = Table::new(&[
+        "utilization",
+        "paravance",
+        "taurus",
+        "graphene",
+        "chromebook",
+        "raspberry",
+    ]);
     for pct in (0..=100u32).step_by(10) {
         let u = f64::from(pct) / 100.0;
         let mut row = vec![format!("{pct}%")];
         for p in &profiles {
-            row.push(format!("{:.2} W @ {:.0} req/s", p.power_at(u * p.max_perf), u * p.max_perf));
+            row.push(format!(
+                "{:.2} W @ {:.0} req/s",
+                p.power_at(u * p.max_perf),
+                u * p.max_perf
+            ));
         }
         t.row(&row);
     }

@@ -18,7 +18,10 @@ fn main() {
 
     println!(
         "Fig. 4 — BML combination power vs rate (candidates: {:?}, thresholds {:?}):\n",
-        bml.candidates().iter().map(|p| p.name.as_str()).collect::<Vec<_>>(),
+        bml.candidates()
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>(),
         bml.threshold_rates()
     );
 

@@ -7,10 +7,16 @@
 //! the paper quotes (+32% average, +6.8% min, +161.4% max).
 //!
 //! ```text
-//! cargo run --release -p bml-bench --bin fig5_bounds [--days N] [--seed N] [--csv]
+//! cargo run --release -p bml-bench --bin fig5_bounds \
+//!     [--days N] [--seed N] [--csv] [--json PATH]
 //! ```
+//!
+//! With `--json PATH` a machine-readable summary (totals, per-day
+//! energies, overhead statistics, wall time) is also written — the CI
+//! smoke job runs `--days 2 --json BENCH_fig5.json` and uploads it as the
+//! perf-trajectory artifact.
 
-use bml_bench::Args;
+use bml_bench::{json, Args};
 use bml_core::bml::BmlInfrastructure;
 use bml_core::catalog;
 use bml_metrics::{fmt_percent, joules_to_kwh, Table};
@@ -36,9 +42,15 @@ fn main() {
         args.days,
         trace.len()
     );
+    let started = std::time::Instant::now();
     let c = run_comparison(&trace, &bml, &config);
+    let wall_s = started.elapsed().as_secs_f64();
 
-    println!("Fig. 5 — energy per day (kWh), days {}..={}:\n", c.first_day, c.first_day + args.days - 1);
+    println!(
+        "Fig. 5 — energy per day (kWh), days {}..={}:\n",
+        c.first_day,
+        c.first_day + args.days - 1
+    );
     let mut t = Table::new(&[
         "day",
         "UB Global",
@@ -89,4 +101,37 @@ fn main() {
         "BML saves {:.1}% of the energy of the classical over-provisioned data center.",
         100.0 * saved
     );
+
+    if let Some(path) = &args.json {
+        let scenarios = c
+            .scenarios()
+            .iter()
+            .map(|s| {
+                json::Object::new()
+                    .str("name", &s.name)
+                    .num("total_energy_j", s.total_energy_j)
+                    .num("mean_power_w", s.mean_power_w)
+                    .nums("daily_energy_j", &s.daily_energy_j)
+                    .int("reconfigurations", s.reconfigurations)
+                    .int("nodes_switched_on", s.nodes_switched_on)
+                    .num("qos_shortfall", s.qos.shortfall_fraction())
+            })
+            .collect();
+        let summary = json::Object::new()
+            .str("experiment", "fig5_bounds")
+            .int("seed", args.seed)
+            .int("days", u64::from(args.days))
+            .num("wall_s", wall_s)
+            .num("energy_saving_vs_ub_global", saved)
+            .obj(
+                "bml_vs_lower_pct",
+                json::Object::new()
+                    .num("mean", c.bml_vs_lower.mean)
+                    .num("min", c.bml_vs_lower.min)
+                    .num("max", c.bml_vs_lower.max),
+            )
+            .objs("scenarios", scenarios);
+        summary.write(path).expect("write JSON summary");
+        eprintln!("wrote {path}");
+    }
 }

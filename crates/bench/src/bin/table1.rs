@@ -5,10 +5,14 @@
 //! measured profiles next to the values published in the paper.
 //!
 //! ```text
-//! cargo run --release -p bml-bench --bin table1 [--seed N] [--csv]
+//! cargo run --release -p bml-bench --bin table1 [--seed N] [--csv] [--json PATH]
 //! ```
+//!
+//! With `--json PATH` the measured profiles (plus harness wall time) are
+//! also written — the CI smoke job uploads `BENCH_table1.json` as part of
+//! the perf-trajectory artifact.
 
-use bml_bench::Args;
+use bml_bench::{json, Args};
 use bml_core::catalog;
 use bml_metrics::Table;
 use bml_profiler::{paper_machines, profile_park, BenchmarkConfig, ProfilerConfig};
@@ -22,7 +26,9 @@ fn main() {
         },
         round_max_perf: true,
     };
+    let started = std::time::Instant::now();
     let measured = profile_park(&paper_machines(), &cfg);
+    let wall_s = started.elapsed().as_secs_f64();
     let published = catalog::table1();
 
     let mut table = Table::new(&[
@@ -49,10 +55,37 @@ fn main() {
             format!("{:.1} - {:.1}", p.idle_power, p.max_power),
         ]);
     }
-    println!("Table I — measured by the profiling harness (seed {}) vs paper:\n", args.seed);
+    println!(
+        "Table I — measured by the profiling harness (seed {}) vs paper:\n",
+        args.seed
+    );
     if args.csv {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.render());
+    }
+
+    if let Some(path) = &args.json {
+        let machines = measured
+            .iter()
+            .map(|m| {
+                json::Object::new()
+                    .str("name", &m.name)
+                    .num("max_perf", m.max_perf)
+                    .num("idle_power_w", m.idle_power)
+                    .num("max_power_w", m.max_power)
+                    .num("on_duration_s", m.on_duration)
+                    .num("on_energy_j", m.on_energy)
+                    .num("off_duration_s", m.off_duration)
+                    .num("off_energy_j", m.off_energy)
+            })
+            .collect();
+        let summary = json::Object::new()
+            .str("experiment", "table1")
+            .int("seed", args.seed)
+            .num("wall_s", wall_s)
+            .objs("machines", machines);
+        summary.write(path).expect("write JSON summary");
+        eprintln!("wrote {path}");
     }
 }

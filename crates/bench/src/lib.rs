@@ -8,8 +8,8 @@
 
 /// Common command-line options of the experiment binaries.
 ///
-/// Flags: `--seed N`, `--days N`, `--window S`, `--csv`, `--noise SIGMA`.
-/// Unknown flags abort with a usage message.
+/// Flags: `--seed N`, `--days N`, `--window S`, `--csv`, `--noise SIGMA`,
+/// `--json PATH`. Unknown flags abort with a usage message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Args {
     /// RNG seed (default 1998, the shipped experiment seed).
@@ -22,6 +22,9 @@ pub struct Args {
     pub csv: bool,
     /// Prediction noise sigma for the ablations.
     pub noise: f64,
+    /// Also write a machine-readable summary (the `BENCH_*.json` perf
+    /// trajectory CI uploads) to this path.
+    pub json: Option<String>,
 }
 
 impl Default for Args {
@@ -32,6 +35,7 @@ impl Default for Args {
             window: None,
             csv: false,
             noise: 0.0,
+            json: None,
         }
     }
 }
@@ -57,11 +61,115 @@ impl Args {
                 "--window" => out.window = Some(parse_num(&value("--window"), "--window")),
                 "--noise" => out.noise = parse_num(&value("--noise"), "--noise"),
                 "--csv" => out.csv = true,
-                "--help" | "-h" => die("usage: [--seed N] [--days N] [--window S] [--noise SIGMA] [--csv]"),
+                "--json" => out.json = Some(value("--json")),
+                "--help" | "-h" => die(
+                    "usage: [--seed N] [--days N] [--window S] [--noise SIGMA] [--csv] \
+                     [--json PATH]",
+                ),
                 other => die(&format!("unknown flag '{other}'")),
             }
         }
         out
+    }
+}
+
+/// Minimal JSON emission for the `BENCH_*.json` perf-trajectory artifacts.
+///
+/// The vendored serde stand-in deliberately does not serialize, so the
+/// handful of summary fields the CI smoke job uploads are written by hand
+/// through this ordered object builder.
+pub mod json {
+    /// An ordered JSON object under construction.
+    #[derive(Debug, Default)]
+    pub struct Object {
+        fields: Vec<(String, String)>,
+    }
+
+    impl Object {
+        /// Empty object.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Add a string field (escaped).
+        pub fn str(mut self, key: &str, v: &str) -> Self {
+            let escaped = escape(v);
+            self.fields.push((key.into(), format!("\"{escaped}\"")));
+            self
+        }
+
+        /// Add an integer field.
+        pub fn int(mut self, key: &str, v: u64) -> Self {
+            self.fields.push((key.into(), v.to_string()));
+            self
+        }
+
+        /// Add a number field (`null` when not finite).
+        pub fn num(mut self, key: &str, v: f64) -> Self {
+            self.fields.push((key.into(), fmt_f64(v)));
+            self
+        }
+
+        /// Add an array of numbers.
+        pub fn nums(mut self, key: &str, vs: &[f64]) -> Self {
+            let body: Vec<String> = vs.iter().map(|&v| fmt_f64(v)).collect();
+            self.fields
+                .push((key.into(), format!("[{}]", body.join(","))));
+            self
+        }
+
+        /// Add a nested object.
+        pub fn obj(mut self, key: &str, v: Object) -> Self {
+            self.fields.push((key.into(), v.render()));
+            self
+        }
+
+        /// Add an array of nested objects.
+        pub fn objs(mut self, key: &str, vs: Vec<Object>) -> Self {
+            let body: Vec<String> = vs.into_iter().map(|o| o.render()).collect();
+            self.fields
+                .push((key.into(), format!("[{}]", body.join(","))));
+            self
+        }
+
+        /// Serialize to a JSON string.
+        pub fn render(&self) -> String {
+            let body: Vec<String> = self
+                .fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", escape(k), v))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        }
+
+        /// Write to `path` with a trailing newline.
+        pub fn write(&self, path: &str) -> std::io::Result<()> {
+            std::fs::write(path, self.render() + "\n")
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn fmt_f64(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".into()
+        }
     }
 }
 
@@ -94,11 +202,32 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let a = parse(&["--seed", "7", "--days", "3", "--window", "600", "--noise", "0.2", "--csv"]);
+        let a = parse(&[
+            "--seed", "7", "--days", "3", "--window", "600", "--noise", "0.2", "--csv", "--json",
+            "out.json",
+        ]);
         assert_eq!(a.seed, 7);
         assert_eq!(a.days, 3);
         assert_eq!(a.window, Some(600));
         assert_eq!(a.noise, 0.2);
         assert!(a.csv);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn json_builder_renders_ordered_fields() {
+        let o = json::Object::new()
+            .str("name", "fig5 \"smoke\"")
+            .int("days", 2)
+            .num("energy", 1.5)
+            .num("bad", f64::NAN)
+            .nums("daily", &[1.0, 2.5])
+            .obj("stats", json::Object::new().num("mean", 0.25))
+            .objs("rows", vec![json::Object::new().int("d", 0)]);
+        assert_eq!(
+            o.render(),
+            "{\"name\":\"fig5 \\\"smoke\\\"\",\"days\":2,\"energy\":1.5,\"bad\":null,\
+             \"daily\":[1,2.5],\"stats\":{\"mean\":0.25},\"rows\":[{\"d\":0}]}"
+        );
     }
 }

@@ -9,6 +9,7 @@ use crate::combination::{config_power, ideal_fill, Combination, SplitPolicy};
 use crate::crossing::{compute_thresholds, pairwise_thresholds, Threshold};
 use crate::errors::BmlError;
 use crate::profile::{stack_power, ArchProfile};
+use crate::table::CombinationTable;
 
 /// A fully built Big-Medium-Little infrastructure.
 ///
@@ -23,6 +24,9 @@ pub struct BmlInfrastructure {
     thresholds: Vec<Threshold>,
     pairwise: Vec<Threshold>,
     removed: Vec<(ArchProfile, RemovalReason)>,
+    /// Piecewise Step-5 output, materialized once so the per-second
+    /// scheduler/simulator hot path answers in O(log segments).
+    table: CombinationTable,
 }
 
 impl BmlInfrastructure {
@@ -32,11 +36,14 @@ impl BmlInfrastructure {
         let CandidateSet { kept, removed } = bml_candidates(profiles)?;
         let thresholds = compute_thresholds(&kept);
         let pairwise = pairwise_thresholds(&kept);
+        let rates: Vec<f64> = thresholds.iter().map(|t| t.rate).collect();
+        let table = CombinationTable::build(&kept, &rates);
         Ok(BmlInfrastructure {
             candidates: kept,
             thresholds,
             pairwise,
             removed,
+            table,
         })
     }
 
@@ -51,11 +58,14 @@ impl BmlInfrastructure {
         }
         let thresholds = compute_thresholds(&candidates);
         let pairwise = pairwise_thresholds(&candidates);
+        let rates: Vec<f64> = thresholds.iter().map(|t| t.rate).collect();
+        let table = CombinationTable::build(&candidates, &rates);
         Ok(BmlInfrastructure {
             candidates,
             thresholds,
             pairwise,
             removed: Vec::new(),
+            table,
         })
     }
 
@@ -105,15 +115,33 @@ impl BmlInfrastructure {
     }
 
     /// Step 5: the ideal machine combination for `rate`.
+    ///
+    /// Served from the precomputed [`CombinationTable`] in O(log
+    /// segments); branch-equivalent to the direct greedy fill
+    /// ([`Self::ideal_combination_direct`]).
     pub fn ideal_combination(&self, rate: f64) -> Combination {
+        self.table.lookup(rate)
+    }
+
+    /// Step 5 computed directly with the paper's greedy fill, bypassing
+    /// the precomputed table. The reference implementation the table is
+    /// property-tested against; prefer [`Self::ideal_combination`] on hot
+    /// paths.
+    pub fn ideal_combination_direct(&self, rate: f64) -> Combination {
         let rates = self.threshold_rates();
         ideal_fill(&self.candidates, &rates, rate)
     }
 
+    /// The precomputed piecewise Step-5 table backing
+    /// [`Self::ideal_combination`].
+    pub fn combination_table(&self) -> &CombinationTable {
+        &self.table
+    }
+
     /// Power (W) of the ideal combination at `rate` — the BML curve of
-    /// Fig. 4.
+    /// Fig. 4. Allocation-free via the precomputed table.
     pub fn power_at(&self, rate: f64) -> f64 {
-        self.ideal_combination(rate).power(&self.candidates)
+        self.table.power_for(rate)
     }
 
     /// Power of a homogeneous stack of Big machines serving `rate` — the
@@ -358,7 +386,9 @@ mod tests {
     fn bounded_fill_respects_caps() {
         let bml = paper_bml();
         // Only 1 Big available; 2000 req/s needs help from Mediums.
-        let combo = bml.ideal_combination_bounded(2000.0, &[1, 100, 100]).unwrap();
+        let combo = bml
+            .ideal_combination_bounded(2000.0, &[1, 100, 100])
+            .unwrap();
         let counts = combo.counts(3);
         assert_eq!(counts[0], 1);
         assert!(combo.assigned_rate(bml.candidates()) + 1e-6 >= 2000.0);

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn step2_removes_taurus_keeps_rest() {
         let set = filter_candidates(&catalog::table1()).unwrap();
-        assert_eq!(set.names(), vec!["paravance", "graphene", "chromebook", "raspberry"]);
+        assert_eq!(
+            set.names(),
+            vec!["paravance", "graphene", "chromebook", "raspberry"]
+        );
         assert_eq!(set.removed.len(), 1);
         assert_eq!(set.removed[0].0.name, "taurus");
         assert_eq!(

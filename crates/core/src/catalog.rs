@@ -16,8 +16,17 @@ use crate::profile::ArchProfile;
 /// Paravance (Grid'5000): 2x Intel Xeon E5-2630v3, 8 cores each.
 /// Paper Table I row 1.
 pub fn paravance() -> ArchProfile {
-    ArchProfile::new("paravance", 69.9, 200.5, 1331.0, 189.0, 21341.0, 10.0, 657.0)
-        .expect("catalog profile is valid")
+    ArchProfile::new(
+        "paravance",
+        69.9,
+        200.5,
+        1331.0,
+        189.0,
+        21341.0,
+        10.0,
+        657.0,
+    )
+    .expect("catalog profile is valid")
 }
 
 /// Taurus (Grid'5000): 2x Intel Xeon E5-2630, 6 cores each.
@@ -80,8 +89,7 @@ pub fn illustrative_b() -> ArchProfile {
 
 /// Illustrative architecture C of Section IV — becomes *Little*.
 pub fn illustrative_c() -> ArchProfile {
-    ArchProfile::new("C", 3.0, 9.0, 30.0, 15.0, 50.0, 12.0, 30.0)
-        .expect("catalog profile is valid")
+    ArchProfile::new("C", 3.0, 9.0, 30.0, 15.0, 50.0, 12.0, 30.0).expect("catalog profile is valid")
 }
 
 /// Illustrative architecture D of Section IV — discarded at Step 2:

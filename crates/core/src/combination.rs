@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 use crate::profile::ArchProfile;
 
 /// Floating-point slack for "remainder is zero" and threshold comparisons.
-const EPS: f64 = 1e-9;
+/// Shared with `crate::table`, which must reproduce these tolerance
+/// semantics exactly to stay branch-equivalent.
+pub(crate) const EPS: f64 = 1e-9;
 
 /// Nodes of one architecture inside a [`Combination`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -88,8 +90,7 @@ impl Combination {
         self.allocs
             .iter()
             .map(|a| {
-                f64::from(a.full_nodes) * profiles[a.arch].max_perf
-                    + a.partial_rate.unwrap_or(0.0)
+                f64::from(a.full_nodes) * profiles[a.arch].max_perf + a.partial_rate.unwrap_or(0.0)
             })
             .sum()
     }
@@ -497,7 +498,10 @@ mod tests {
             let counts = vec![1, 3, 5];
             let (g, _) = config_power(&p, &counts, load, SplitPolicy::EfficiencyGreedy);
             let (pr, _) = config_power(&p, &counts, load, SplitPolicy::ProportionalToCapacity);
-            assert!(g <= pr + 1e-9, "load {load}: greedy {g} > proportional {pr}");
+            assert!(
+                g <= pr + 1e-9,
+                "load {load}: greedy {g} > proportional {pr}"
+            );
         }
     }
 

@@ -85,11 +85,7 @@ fn sustained_crossing(
 /// Step 3: threshold of `bigger` versus homogeneous stacks of `smaller`.
 pub fn pairwise_threshold(bigger: &ArchProfile, smaller: &ArchProfile) -> Threshold {
     let limit = bigger.max_perf.floor() as u64;
-    match sustained_crossing(
-        limit,
-        |r| bigger.power_at(r),
-        |r| stack_power(smaller, r),
-    ) {
+    match sustained_crossing(limit, |r| bigger.power_at(r), |r| stack_power(smaller, r)) {
         Some(r) => Threshold {
             rate: r as f64,
             kind: ThresholdKind::Crossing,
@@ -112,7 +108,10 @@ pub fn combined_threshold(
     smaller: &[ArchProfile],
     smaller_thresholds: &[f64],
 ) -> Threshold {
-    assert!(!smaller.is_empty(), "need at least one smaller architecture");
+    assert!(
+        !smaller.is_empty(),
+        "need at least one smaller architecture"
+    );
     let limit = bigger.max_perf.floor() as u64;
     match sustained_crossing(
         limit,

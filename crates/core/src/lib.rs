@@ -75,6 +75,7 @@ pub mod prelude {
     pub use crate::profile::ArchProfile;
     pub use crate::reconfig::{Configuration, ReconfigPlan};
     pub use crate::scheduler::{paper_window_length, Decision, ProActiveScheduler};
+    pub use crate::table::CombinationTable;
     pub use crate::transition_aware::{TransitionAwareConfig, TransitionAwareScheduler};
 }
 

@@ -166,7 +166,8 @@ impl ArchProfile {
     /// least as much peak power — i.e. `self` is dominated and can never
     /// improve energy proportionality (Step 2 removal criterion).
     pub fn is_dominated_by(&self, other: &ArchProfile) -> bool {
-        self.max_perf <= other.max_perf && self.max_power >= other.max_power
+        self.max_perf <= other.max_perf
+            && self.max_power >= other.max_power
             && (self.max_perf < other.max_perf || self.max_power > other.max_power)
     }
 }
@@ -266,8 +267,17 @@ mod tests {
     #[test]
     fn domination() {
         // Taurus is dominated by Paravance: slower yet hungrier.
-        let par = ArchProfile::new("paravance", 69.9, 200.5, 1331.0, 189.0, 21341.0, 10.0, 657.0)
-            .unwrap();
+        let par = ArchProfile::new(
+            "paravance",
+            69.9,
+            200.5,
+            1331.0,
+            189.0,
+            21341.0,
+            10.0,
+            657.0,
+        )
+        .unwrap();
         let tau =
             ArchProfile::new("taurus", 95.8, 223.7, 860.0, 164.0, 20628.0, 11.0, 1173.0).unwrap();
         assert!(tau.is_dominated_by(&par));
@@ -281,5 +291,4 @@ mod tests {
         let p = rasp();
         assert!((p.cycle_energy() - 76.7).abs() < 1e-9);
     }
-
 }

@@ -230,14 +230,9 @@ mod tests {
 
     #[test]
     fn zero_duration_plan_power_is_zero() {
-        let instant =
-            vec![ArchProfile::without_transitions("i", 1.0, 2.0, 10.0).unwrap()];
-        let plan = plan_reconfiguration(
-            &instant,
-            &Configuration(vec![0]),
-            &Configuration(vec![1]),
-        )
-        .unwrap();
+        let instant = vec![ArchProfile::without_transitions("i", 1.0, 2.0, 10.0).unwrap()];
+        let plan = plan_reconfiguration(&instant, &Configuration(vec![0]), &Configuration(vec![1]))
+            .unwrap();
         assert_eq!(plan.duration, 0.0);
         assert_eq!(plan.mean_transition_power(), 0.0);
     }

@@ -116,12 +116,7 @@ impl ProActiveScheduler {
     ///
     /// Reconfiguration durations are rounded *up* to whole seconds when
     /// computing the lock-out, matching the paper's 1 s decision grid.
-    pub fn decide(
-        &mut self,
-        now: u64,
-        predicted_load: f64,
-        bml: &BmlInfrastructure,
-    ) -> Decision {
+    pub fn decide(&mut self, now: u64, predicted_load: f64, bml: &BmlInfrastructure) -> Decision {
         if let Some(until) = self.busy_until {
             if now < until {
                 self.stats.locked_steps += 1;
@@ -130,10 +125,17 @@ impl ProActiveScheduler {
             self.busy_until = None;
         }
         self.stats.decisions += 1;
-        let target = Configuration(
-            bml.ideal_combination(predicted_load.max(0.0))
-                .counts(bml.n_archs()),
-        );
+        let predicted = predicted_load.max(0.0);
+        // Allocation-free no-change test against the precomputed table:
+        // on steady load (the common case, once per second) the decision
+        // costs one binary search and one counts comparison.
+        if bml
+            .combination_table()
+            .counts_match(predicted, &self.current.0)
+        {
+            return Decision::NoChange;
+        }
+        let target = Configuration(bml.ideal_combination(predicted).counts(bml.n_archs()));
         if target == self.current {
             return Decision::NoChange;
         }
@@ -234,8 +236,7 @@ mod tests {
     #[test]
     fn zero_prediction_powers_everything_off() {
         let bml = bml();
-        let mut s =
-            ProActiveScheduler::with_initial(Configuration(vec![1, 0, 0]));
+        let mut s = ProActiveScheduler::with_initial(Configuration(vec![1, 0, 0]));
         match s.decide(0, 0.0, &bml) {
             Decision::Reconfigure(plan) => {
                 assert!(plan.target.is_off());
@@ -280,8 +281,8 @@ mod tests {
         let mut s = ProActiveScheduler::new(bml.n_archs());
         let mut in_flight_until: Option<u64> = None;
         let loads = [5.0, 700.0, 20.0, 1400.0, 3.0, 0.0, 2500.0];
-        let mut t = 0u64;
         for (i, &l) in loads.iter().cycle().take(2000).enumerate() {
+            let t = i as u64;
             let d = s.decide(t, l + (i % 7) as f64, &bml);
             match d {
                 Decision::Locked { until } => {
@@ -297,7 +298,6 @@ mod tests {
                 }
                 Decision::NoChange => {}
             }
-            t += 1;
         }
     }
 }

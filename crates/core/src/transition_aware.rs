@@ -117,7 +117,7 @@ impl TransitionAwareScheduler {
     /// Generate the candidate configurations for a prediction.
     fn candidates(&self, predicted: f64, bml: &BmlInfrastructure) -> Vec<Configuration> {
         let n = bml.n_archs();
-        let ideal = Configuration(bml.ideal_combination(predicted).counts(n));
+        let ideal = Configuration(bml.combination_table().counts_for(predicted));
         let mut out = vec![ideal.clone()];
         // Staying put is always a candidate (it may be infeasible).
         if self.current != ideal {
@@ -184,9 +184,11 @@ impl TransitionAwareScheduler {
             .map(|c| self.score(c, predicted, bml))
             .collect();
         scored.sort_by(|a, b| {
-            b.feasible
-                .cmp(&a.feasible)
-                .then(a.total_energy_j.partial_cmp(&b.total_energy_j).unwrap_or(std::cmp::Ordering::Equal))
+            b.feasible.cmp(&a.feasible).then(
+                a.total_energy_j
+                    .partial_cmp(&b.total_energy_j)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         self.last_candidates = scored.clone();
         let best = scored.first().expect("at least the ideal candidate");
@@ -194,8 +196,8 @@ impl TransitionAwareScheduler {
         if target == self.current {
             return Decision::NoChange;
         }
-        let plan: ReconfigPlan = plan_reconfiguration(bml.candidates(), &self.current, &target)
-            .expect("configs differ");
+        let plan: ReconfigPlan =
+            plan_reconfiguration(bml.candidates(), &self.current, &target).expect("configs differ");
         let lock = plan.duration.ceil() as u64;
         if lock > 0 {
             self.busy_until = Some(now + lock);
@@ -314,10 +316,11 @@ mod tests {
         let _ = s.decide(0, 40.0, &bml);
         // Ideal for 40 is [0, 2, 0]-ish; keep-variants must include a
         // configuration retaining the Big.
-        assert!(s
-            .last_candidates
-            .iter()
-            .any(|c| c.config.0[0] == 1), "{:?}", s.last_candidates);
+        assert!(
+            s.last_candidates.iter().any(|c| c.config.0[0] == 1),
+            "{:?}",
+            s.last_candidates
+        );
     }
 
     #[test]
@@ -344,12 +347,10 @@ mod tests {
             TransitionAwareConfig::paper(),
         );
         let mut base = ProActiveScheduler::with_initial(Configuration(vec![1, 0, 0]));
-        let mut t = 0u64;
-        for i in 0..200u64 {
-            let load = if i % 2 == 0 { 520.0 } else { 540.0 };
+        for t in 0..200u64 {
+            let load = if t % 2 == 0 { 520.0 } else { 540.0 };
             let _ = aware.decide(t, load, &bml);
             let _ = base.decide(t, load, &bml);
-            t += 1;
         }
         assert_eq!(aware.stats().reconfigurations, 0);
         assert!(base.stats().reconfigurations > 0);

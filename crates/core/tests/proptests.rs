@@ -19,8 +19,17 @@ fn arb_profile() -> impl Strategy<Value = ArchProfile> {
         0.0f64..2000.0,  // off energy
     )
         .prop_map(|(idle, range, mp, ont, one, offt, offe)| {
-            ArchProfile::new("p", idle, idle + range, mp.round().max(1.0), ont, one, offt, offe)
-                .expect("constructed within valid ranges")
+            ArchProfile::new(
+                "p",
+                idle,
+                idle + range,
+                mp.round().max(1.0),
+                ont,
+                one,
+                offt,
+                offe,
+            )
+            .expect("constructed within valid ranges")
         })
 }
 
@@ -131,6 +140,62 @@ proptest! {
                 .sum();
             prop_assert!(w + 1e-9 >= idle_sum);
             prop_assert!(w <= peak_sum + 1e-9);
+        }
+    }
+
+    #[test]
+    fn combination_table_equals_direct_fill(
+        profiles in arb_profiles(),
+        rates in proptest::collection::vec(0.0f64..10000.0, 1..40),
+    ) {
+        if let Ok(set) = bml_candidates(&profiles) {
+            let bml = BmlInfrastructure::from_candidates(set.kept.clone()).unwrap();
+            let table = bml.combination_table();
+            for &rate in &rates {
+                let direct = bml.ideal_combination_direct(rate);
+                let looked = table.lookup(rate);
+                prop_assert_eq!(&looked, &direct, "lookup != direct at rate {}", rate);
+                prop_assert_eq!(
+                    table.counts_for(rate),
+                    direct.counts(bml.n_archs()),
+                    "counts diverge at rate {}", rate
+                );
+                prop_assert!(
+                    (table.power_for(rate) - direct.power(bml.candidates())).abs() < 1e-6,
+                    "power diverges at rate {}", rate
+                );
+                prop_assert!(
+                    table.counts_match(rate, &direct.counts(bml.n_archs())),
+                    "counts_match rejects the direct counts at rate {}", rate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combination_table_integer_rates_equal_direct(
+        profiles in arb_profiles(),
+        rate in 0u64..10000,
+    ) {
+        // Integer rates land exactly on the table's segment boundaries —
+        // the adversarial case for the breakpoint construction.
+        if let Ok(set) = bml_candidates(&profiles) {
+            let bml = BmlInfrastructure::from_candidates(set.kept.clone()).unwrap();
+            let direct = bml.ideal_combination_direct(rate as f64);
+            prop_assert_eq!(bml.combination_table().lookup(rate as f64), direct);
+        }
+    }
+
+    #[test]
+    fn scheduler_fast_path_matches_full_recompute(
+        loads in proptest::collection::vec(0.0f64..6000.0, 1..100)
+    ) {
+        // The scheduler's allocation-free counts_match no-change test must
+        // agree with rebuilding the target configuration from scratch.
+        let bml = BmlInfrastructure::build(&bml_core::catalog::table1()).unwrap();
+        for &l in &loads {
+            let counts = bml.ideal_combination_direct(l).counts(bml.n_archs());
+            prop_assert!(bml.combination_table().counts_match(l, &counts));
         }
     }
 

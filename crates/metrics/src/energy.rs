@@ -246,7 +246,14 @@ mod tests {
         assert_eq!(s.max, 20.0);
         // All-zero reference: no meaningful overhead.
         let s = overhead_stats(&[1.0], &[0.0]);
-        assert_eq!(s, OverheadStats { mean: 0.0, min: 0.0, max: 0.0 });
+        assert_eq!(
+            s,
+            OverheadStats {
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0
+            }
+        );
     }
 
     #[test]

@@ -120,13 +120,19 @@ mod tests {
     #[test]
     fn ldr_positive_for_superlinear_bulge() {
         // Curve above the idle-peak line in the middle.
-        let v = ldr(|u| 50.0 + 100.0 * u + 20.0 * (std::f64::consts::PI * u).sin(), 200);
+        let v = ldr(
+            |u| 50.0 + 100.0 * u + 20.0 * (std::f64::consts::PI * u).sin(),
+            200,
+        );
         assert!(v > 0.05, "ldr {v}");
     }
 
     #[test]
     fn ldr_negative_for_sublinear_curve() {
-        let v = ldr(|u| 50.0 + 100.0 * u - 20.0 * (std::f64::consts::PI * u).sin(), 200);
+        let v = ldr(
+            |u| 50.0 + 100.0 * u - 20.0 * (std::f64::consts::PI * u).sin(),
+            200,
+        );
         assert!(v < -0.05, "ldr {v}");
     }
 

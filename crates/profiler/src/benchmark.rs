@@ -140,8 +140,16 @@ mod tests {
     fn benchmark_recovers_chromebook_profile() {
         let cb = paper_machines().remove(3);
         let r = run_benchmark(&cb, &BenchmarkConfig::default());
-        assert!((r.max_perf_rps - 33.0).abs() < 1.0, "maxPerf {}", r.max_perf_rps);
-        assert!((r.idle_power_w - 4.0).abs() < 0.2, "idle {}", r.idle_power_w);
+        assert!(
+            (r.max_perf_rps - 33.0).abs() < 1.0,
+            "maxPerf {}",
+            r.max_perf_rps
+        );
+        assert!(
+            (r.idle_power_w - 4.0).abs() < 0.2,
+            "idle {}",
+            r.idle_power_w
+        );
         assert!((r.max_power_w - 7.6).abs() < 0.3, "max {}", r.max_power_w);
     }
 
@@ -149,7 +157,11 @@ mod tests {
     fn benchmark_recovers_paravance_profile() {
         let m = paper_machines().remove(0);
         let r = run_benchmark(&m, &BenchmarkConfig::default());
-        assert!((r.max_perf_rps - 1331.0).abs() < 15.0, "maxPerf {}", r.max_perf_rps);
+        assert!(
+            (r.max_perf_rps - 1331.0).abs() < 15.0,
+            "maxPerf {}",
+            r.max_perf_rps
+        );
         assert!((r.idle_power_w - 69.9).abs() < 1.0);
         assert!((r.max_power_w - 200.5).abs() < 2.5);
     }
@@ -159,7 +171,7 @@ mod tests {
         let m = paper_machines().remove(4); // raspberry, 4 cores
         let r = run_benchmark(&m, &BenchmarkConfig::default());
         assert_eq!(r.levels.len(), 16); // 4 cores x factor 4
-        // Throughput grows then flattens.
+                                        // Throughput grows then flattens.
         assert!(r.levels[0].throughput_rps < r.levels[3].throughput_rps);
         let last = r.levels.last().unwrap();
         assert!(last.throughput_rps <= r.max_perf_rps + 1e-9);

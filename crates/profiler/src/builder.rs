@@ -72,7 +72,13 @@ mod tests {
         for (m, r) in measured.iter().zip(&reference) {
             assert_eq!(m.name, r.name);
             let perf_err = (m.max_perf - r.max_perf).abs() / r.max_perf;
-            assert!(perf_err < 0.02, "{}: maxPerf {} vs {}", m.name, m.max_perf, r.max_perf);
+            assert!(
+                perf_err < 0.02,
+                "{}: maxPerf {} vs {}",
+                m.name,
+                m.max_perf,
+                r.max_perf
+            );
             assert!(
                 (m.idle_power - r.idle_power).abs() / r.idle_power < 0.05,
                 "{}: idle {} vs {}",
@@ -114,7 +120,11 @@ mod tests {
         // by ~0.12 W per req/s around 529 req/s, so a 1% wattmeter error
         // (~2 W on the Big's idle) legitimately moves the crossing by a
         // few percent. Accept a 5% band around the paper's 529.
-        assert!((t[0] - 529.0).abs() <= 529.0 * 0.05, "big threshold {}", t[0]);
+        assert!(
+            (t[0] - 529.0).abs() <= 529.0 * 0.05,
+            "big threshold {}",
+            t[0]
+        );
     }
 
     #[test]

@@ -195,7 +195,10 @@ mod tests {
 
     #[test]
     fn true_capacity_matches_table1() {
-        for (m, expect) in paper_machines().iter().zip([1331.0, 860.0, 272.0, 33.0, 9.0]) {
+        for (m, expect) in paper_machines()
+            .iter()
+            .zip([1331.0, 860.0, 272.0, 33.0, 9.0])
+        {
             assert!(
                 (m.true_capacity_rps() - expect).abs() < 1e-9,
                 "{}: {}",

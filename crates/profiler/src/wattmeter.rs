@@ -87,7 +87,7 @@ mod tests {
         let mut m = Wattmeter::new(1);
         m.noise = 0.0;
         assert!((m.sample(123.456) - 123.5).abs() < 1e-9);
-        assert!((m.sample(3.14) - 3.1).abs() < 1e-9);
+        assert!((m.sample(3.16) - 3.2).abs() < 1e-9);
     }
 
     #[test]
@@ -97,7 +97,10 @@ mod tests {
         let mean = Wattmeter::mean(&samples);
         assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
         for &s in &samples {
-            assert!((95.0..=105.0).contains(&s), "sample {s} outside 3 sigma + quantum");
+            assert!(
+                (95.0..=105.0).contains(&s),
+                "sample {s} outside 3 sigma + quantum"
+            );
         }
     }
 

@@ -219,10 +219,11 @@ impl Cluster {
         }
         // Keep completion queues ordered (durations are per-arch constants,
         // so appends are already non-decreasing per pool).
-        debug_assert!(self
-            .pools
+        debug_assert!(self.pools.iter().all(|p| p
+            .booting
             .iter()
-            .all(|p| p.booting.iter().zip(p.booting.iter().skip(1)).all(|(a, b)| a.0 <= b.0)));
+            .zip(p.booting.iter().skip(1))
+            .all(|(a, b)| a.0 <= b.0)));
     }
 
     /// Online machine counts per architecture.
@@ -406,7 +407,7 @@ mod tests {
     fn staggered_boots_complete_independently() {
         let mut c = cluster();
         c.apply(&plan(&[0, 0, 0], &[0, 1, 0]), 0); // CB online at 12
-        // Lock-free in this unit test: apply another boot at t=5.
+                                                   // Lock-free in this unit test: apply another boot at t=5.
         c.apply(&plan(&[0, 1, 0], &[0, 2, 0]), 5); // second CB online at 17
         c.tick(12);
         assert_eq!(c.online_counts(), vec![0, 1, 0]);

@@ -8,6 +8,12 @@
 //! and QoS for that second. Daily energies therefore contain "the energy
 //! consumed by computation and by On/Off reconfigurations", exactly as
 //! Fig. 5 accounts them.
+//!
+//! The per-second ideal-combination queries (the scheduler's no-change
+//! test and the target configuration) are served by the infrastructure's
+//! precomputed [`bml_core::table::CombinationTable`] in O(log segments),
+//! so long trace replays and the rayon sweep runners never pay the full
+//! combination search once per simulated second.
 
 use bml_app::{plan_migrations, ApplicationSpec};
 use bml_core::bml::BmlInfrastructure;
@@ -153,20 +159,16 @@ pub fn simulate_bml(
     let initial = if config.cold_start {
         Configuration::off(n)
     } else {
-        Configuration(bml.ideal_combination(predictor.predict(0)).counts(n))
+        Configuration(bml.combination_table().counts_for(predictor.predict(0)))
     };
-    let mut cluster = Cluster::with_online(
-        bml.candidates().to_vec(),
-        &initial.0,
-        config.split,
-    );
+    let mut cluster = Cluster::with_online(bml.candidates().to_vec(), &initial.0, config.split);
     let mut sched = match &config.scheduler {
         SchedulerKind::Baseline => {
             AnyScheduler::Baseline(ProActiveScheduler::with_initial(initial))
         }
-        SchedulerKind::TransitionAware(cfg) => AnyScheduler::Aware(
-            TransitionAwareScheduler::with_initial(initial, cfg.clone()),
-        ),
+        SchedulerKind::TransitionAware(cfg) => {
+            AnyScheduler::Aware(TransitionAwareScheduler::with_initial(initial, cfg.clone()))
+        }
     };
     let mut meter = EnergyMeter::new();
     let mut qos = QosReport::default();

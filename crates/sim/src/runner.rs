@@ -33,7 +33,12 @@ pub struct ComparisonResult {
 impl ComparisonResult {
     /// The four scenarios in the paper's presentation order.
     pub fn scenarios(&self) -> [&ScenarioResult; 4] {
-        [&self.ub_global, &self.ub_per_day, &self.bml, &self.lower_bound]
+        [
+            &self.ub_global,
+            &self.ub_per_day,
+            &self.bml,
+            &self.lower_bound,
+        ]
     }
 }
 
@@ -132,7 +137,10 @@ pub fn sweep_scheduler(
         consider_keep_variants: true,
     };
     let kinds = [
-        ("baseline".to_string(), crate::engine::SchedulerKind::Baseline),
+        (
+            "baseline".to_string(),
+            crate::engine::SchedulerKind::Baseline,
+        ),
         (
             "transition-aware".to_string(),
             crate::engine::SchedulerKind::TransitionAware(aware_cfg),

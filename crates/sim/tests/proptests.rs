@@ -20,7 +20,7 @@ fn arb_trace() -> impl Strategy<Value = LoadTrace> {
     proptest::collection::vec((0.0f64..4_000.0, 50usize..800), 1..8).prop_map(|segments| {
         let mut rates = Vec::new();
         for (level, len) in segments {
-            rates.extend(std::iter::repeat(level.round()).take(len));
+            rates.extend(std::iter::repeat_n(level.round(), len));
         }
         LoadTrace::new(0, rates)
     })

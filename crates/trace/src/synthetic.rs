@@ -31,13 +31,7 @@ pub fn diurnal(min_rate: f64, max_rate: f64, trough_hour: f64, days: u32) -> Loa
 }
 
 /// Square-wave bursts: `low` load with periodic plateaus at `high`.
-pub fn square_bursts(
-    low: f64,
-    high: f64,
-    period_s: u64,
-    burst_s: u64,
-    seconds: u64,
-) -> LoadTrace {
+pub fn square_bursts(low: f64, high: f64, period_s: u64, burst_s: u64, seconds: u64) -> LoadTrace {
     assert!(period_s > 0 && burst_s <= period_s);
     let rates = (0..seconds)
         .map(|t| if t % period_s < burst_s { high } else { low })

@@ -228,12 +228,7 @@ mod tests {
 
     #[test]
     fn bucketing_counts_per_second() {
-        let records = vec![
-            record(1_000),
-            record(1_000),
-            record(1_000),
-            record(1_002),
-        ];
+        let records = vec![record(1_000), record(1_000), record(1_000), record(1_002)];
         let trace = records_to_trace(
             &records,
             &Wc98Options {

@@ -154,7 +154,9 @@ mod tests {
         let mut x = 123456789u64;
         let rates: Vec<f64> = (0..5000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as f64 / 1e6
             })
             .collect();

@@ -99,8 +99,7 @@ impl WorldCupParams {
         if day > self.final_day {
             // Post-final decay: 35% of the pre-final level, halving daily.
             let dt = (day - self.final_day) as f64;
-            return (self.peak_rate * 0.35 * 0.5f64.powf(dt - 1.0))
-                .max(self.pre_tournament_peak);
+            return (self.peak_rate * 0.35 * 0.5f64.powf(dt - 1.0)).max(self.pre_tournament_peak);
         }
         if day < self.tournament_start {
             // Pre-tournament: slow linear build-up of interest.
@@ -181,16 +180,15 @@ pub fn generate(params: &WorldCupParams) -> LoadTrace {
             // Diurnal base: trough at 4 am, crest at 4 pm.
             let phase = (hour - 4.0) / 24.0 * std::f64::consts::TAU;
             let diurnal = 0.5 - 0.5 * phase.cos(); // 0 at 4 am, 1 at 4 pm
-            let base_level = params.night_fraction
-                + (1.0 - params.night_fraction) * diurnal;
+            let base_level = params.night_fraction + (1.0 - params.night_fraction) * diurnal;
             // Non-match share of the day's traffic.
             let mut level = base_level * if match_day { 0.45 } else { 1.0 };
             if match_day {
                 // Kick-off crowds; the evening match draws the full peak.
                 let weights = [0.55, 0.7, 1.0];
                 for (k, &t0) in KICKOFFS.iter().enumerate() {
-                    level += weights[k] * (1.0 - 0.45 * base_level)
-                        * bump(s as f64 - t0, MATCH_SIGMA);
+                    level +=
+                        weights[k] * (1.0 - 0.45 * base_level) * bump(s as f64 - t0, MATCH_SIGMA);
                 }
             }
             let jitter: f64 = rng.gen_range(-params.noise..=params.noise);
@@ -261,9 +259,9 @@ mod tests {
     #[test]
     fn pre_tournament_days_are_quiet() {
         let t = short_trace(5); // days 6..=10, all pre-tournament
-        // Base peaks stay near `pre_tournament_peak`; bursts and shot
-        // noise can push single seconds a couple of multiples higher, but
-        // nowhere near tournament scale (thousands of req/s).
+                                // Base peaks stay near `pre_tournament_peak`; bursts and shot
+                                // noise can push single seconds a couple of multiples higher, but
+                                // nowhere near tournament scale (thousands of req/s).
         assert!(t.max() < 1_000.0, "pre-tournament peak {}", t.max());
         assert!(t.max() > 30.0);
         assert!(t.mean() < 150.0, "pre-tournament mean {}", t.mean());

@@ -112,7 +112,10 @@ fn main() {
     match infra.ideal_combination_bounded(3_000.0, &limits) {
         Ok(combo) => {
             let c = combo.counts(infra.n_archs());
-            println!("  3000 req/s -> {c:?} ({:.1} W)", combo.power(infra.candidates()));
+            println!(
+                "  3000 req/s -> {c:?} ({:.1} W)",
+                combo.power(infra.candidates())
+            );
         }
         Err(e) => println!("  3000 req/s -> {e}"),
     }

@@ -49,8 +49,7 @@ fn main() {
     );
     let spec = ApplicationSpec::stateless_web_server();
     println!(
-        "QoS class '{}' tolerates {:.1}% shortfall: {}",
-        "Tolerant",
+        "QoS class 'Tolerant' tolerates {:.1}% shortfall: {}",
         100.0 * spec.qos.tolerated_shortfall(),
         if bml_run.qos.satisfies(spec.qos.tolerated_shortfall()) {
             "SATISFIED"

@@ -19,8 +19,12 @@ fn main() {
     let config = SimConfig::default();
 
     println!("Gaussian error injected into the 378 s look-ahead-max prediction:\n");
-    println!("{:<8} {:>12} {:>10} {:>16} {:>14}", "sigma", "energy(kWh)", "reconfigs", "shortfall(%)", "worst sec(%)");
-    for (sigma, r) in sweep_prediction_noise(&trace, &infra, &[0.0, 0.05, 0.1, 0.2, 0.4], 1998, &config)
+    println!(
+        "{:<8} {:>12} {:>10} {:>16} {:>14}",
+        "sigma", "energy(kWh)", "reconfigs", "shortfall(%)", "worst sec(%)"
+    );
+    for (sigma, r) in
+        sweep_prediction_noise(&trace, &infra, &[0.0, 0.05, 0.1, 0.2, 0.4], 1998, &config)
     {
         println!(
             "{:<8.2} {:>12.3} {:>10} {:>16.4} {:>14.1}",
@@ -35,13 +39,25 @@ fn main() {
     println!("\nAlternative predictors (load knowledge classes of Sec. III):\n");
     let mut results = Vec::new();
     let mut lookahead = LookaheadMaxPredictor::new(&trace, 378);
-    results.push(("lookahead-max (partial knowledge)", simulate_bml(&trace, &infra, &mut lookahead, &config)));
+    results.push((
+        "lookahead-max (partial knowledge)",
+        simulate_bml(&trace, &infra, &mut lookahead, &config),
+    ));
     let mut last = LastValuePredictor::new(&trace);
-    results.push(("last-value (unknown load, reactive)", simulate_bml(&trace, &infra, &mut last, &config)));
+    results.push((
+        "last-value (unknown load, reactive)",
+        simulate_bml(&trace, &infra, &mut last, &config),
+    ));
     let mut ewma = EwmaPredictor::new(&trace, 0.02);
-    results.push(("ewma a=0.02 (smoothed reactive)", simulate_bml(&trace, &infra, &mut ewma, &config)));
+    results.push((
+        "ewma a=0.02 (smoothed reactive)",
+        simulate_bml(&trace, &infra, &mut ewma, &config),
+    ));
 
-    println!("{:<36} {:>12} {:>10} {:>16}", "predictor", "energy(kWh)", "reconfigs", "shortfall(%)");
+    println!(
+        "{:<36} {:>12} {:>10} {:>16}",
+        "predictor", "energy(kWh)", "reconfigs", "shortfall(%)"
+    );
     for (name, r) in &results {
         println!(
             "{:<36} {:>12.3} {:>10} {:>16.4}",

@@ -22,12 +22,21 @@ fn main() {
 
     // Steps 2-4: filter candidates, compute crossing points.
     let infra = BmlInfrastructure::build(&profiles).expect("catalog is valid");
-    println!("\nBML candidates (Big -> Little): {:?}",
-        infra.candidates().iter().map(|p| p.name.as_str()).collect::<Vec<_>>());
+    println!(
+        "\nBML candidates (Big -> Little): {:?}",
+        infra
+            .candidates()
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>()
+    );
     for (p, r) in infra.removed() {
         println!("  removed {}: {r:?}", p.name);
     }
-    println!("Minimum utilization thresholds: {:?} req/s", infra.threshold_rates());
+    println!(
+        "Minimum utilization thresholds: {:?} req/s",
+        infra.threshold_rates()
+    );
 
     // Step 5: ideal combinations for a few rates.
     println!("\nIdeal combinations:");
@@ -48,7 +57,13 @@ fn main() {
     // The scheduler: feed it predictions, apply its plans.
     println!("\nScheduler walk-through:");
     let mut sched = ProActiveScheduler::new(infra.n_archs());
-    let timeline = [(0u64, 40.0), (1, 40.0), (40, 700.0), (250, 700.0), (300, 5.0)];
+    let timeline = [
+        (0u64, 40.0),
+        (1, 40.0),
+        (40, 700.0),
+        (250, 700.0),
+        (300, 5.0),
+    ];
     for (t, predicted) in timeline {
         match sched.decide(t, predicted, &infra) {
             Decision::Reconfigure(plan) => println!(

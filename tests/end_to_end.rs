@@ -159,5 +159,8 @@ fn energy_metrics_cross_check() {
     let c = run_comparison(&trace, &infra, &SimConfig::default());
     let bml_ratio = c.bml.total_energy_j / c.lower_bound.total_energy_j;
     let ub_ratio = c.ub_global.total_energy_j / c.lower_bound.total_energy_j;
-    assert!(bml_ratio < ub_ratio / 2.0, "bml {bml_ratio} vs ub {ub_ratio}");
+    assert!(
+        bml_ratio < ub_ratio / 2.0,
+        "bml {bml_ratio} vs ub {ub_ratio}"
+    );
 }

@@ -1,0 +1,53 @@
+//! Offline stand-in for the `bytes` crate: the [`Buf`] reader trait over
+//! `&[u8]`, with the big-endian accessors the WC98 binary-log parser uses.
+
+/// A cursor over a byte buffer (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+    /// Read a big-endian `u32`, advancing the cursor.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().expect("split_at(4) yields 4 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Buf;
+
+    #[test]
+    fn reads_big_endian_and_advances() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0xFF];
+        let mut buf: &[u8] = &data;
+        assert_eq!(buf.remaining(), 5);
+        assert_eq!(buf.get_u32(), 0x0102_0304);
+        assert_eq!(buf.remaining(), 1);
+        assert_eq!(buf.get_u8(), 0xFF);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut buf: &[u8] = &[1, 2];
+        let _ = buf.get_u32();
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion`, covering the harness surface the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`black_box`], and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology (simplified but honest): each benchmark is warmed up for
+//! [`WARMUP`], then timed over [`SAMPLES`] samples of adaptively sized
+//! batches; the reported figure is the median per-iteration time, with min
+//! and max shown for spread. A `BENCH_FAST=1` environment variable cuts
+//! the budget for CI smoke runs. Results print to stdout, one line per
+//! benchmark, and are also recorded so `final_summary` can emit a compact
+//! recap.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Warm-up budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(120);
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 31;
+/// Target wall-clock budget for all samples of one benchmark.
+const MEASURE: Duration = Duration::from_millis(400);
+
+fn fast_mode() -> bool {
+    std::env::var("BENCH_FAST")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let median_ns = run_bench(&name, &mut f);
+        self.results.push((name, median_ns));
+        self
+    }
+
+    /// Open a named group; benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    /// Print the recap table of every benchmark run so far.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let width = self.results.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        println!("\nsummary ({} benchmarks):", self.results.len());
+        for (name, ns) in &self.results {
+            println!("  {name:<width$}  {}", fmt_ns(*ns));
+        }
+    }
+}
+
+/// A benchmark group (prefix namespace), mirroring criterion's API.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.prefix, id);
+        self.criterion.bench_function(name, f);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim sizes samples by wall-clock
+    /// budget rather than count, so the value is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    mode: Mode,
+    /// Filled by `iter`: ns per iteration for this invocation.
+    last_ns: f64,
+}
+
+enum Mode {
+    /// Run the routine a fixed number of times, timing the whole batch.
+    Batch(u64),
+    /// Run once, timing it (used during calibration).
+    Calibrate,
+}
+
+impl Bencher {
+    /// Time the routine; criterion's `iter`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                self.last_ns = start.elapsed().as_nanos() as f64;
+            }
+            Mode::Batch(n) => {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                self.last_ns = start.elapsed().as_nanos() as f64 / n as f64;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) -> f64 {
+    let (warmup, measure, samples) = if fast_mode() {
+        (WARMUP / 4, MEASURE / 4, 11)
+    } else {
+        (WARMUP, MEASURE, SAMPLES)
+    };
+
+    // Calibrate: how long does one iteration take?
+    let mut b = Bencher {
+        mode: Mode::Calibrate,
+        last_ns: 0.0,
+    };
+    f(&mut b);
+    let approx_ns = b.last_ns.max(1.0);
+
+    // Warm up for the budget.
+    let warm_end = Instant::now() + warmup;
+    while Instant::now() < warm_end {
+        f(&mut b);
+    }
+
+    // Batch size so that all samples together fit the measure budget.
+    let per_sample_ns = measure.as_nanos() as f64 / samples as f64;
+    let batch = ((per_sample_ns / approx_ns).floor() as u64).clamp(1, 1_000_000);
+
+    let mut sampled: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                mode: Mode::Batch(batch),
+                last_ns: 0.0,
+            };
+            f(&mut b);
+            b.last_ns
+        })
+        .collect();
+    sampled.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = sampled[sampled.len() / 2];
+    let (min, max) = (sampled[0], sampled[sampled.len() - 1]);
+    println!(
+        "{name:<44} {:>12}/iter  (min {}, max {}, {} x {} iters)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max),
+        samples,
+        batch
+    );
+    median
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions into a group runner (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main()` running the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. --bench); nothing to parse
+            // in this shim.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_result() {
+        std::env::set_var("BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > 0.0);
+        c.final_summary();
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        std::env::set_var("BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("x", |b| b.iter(|| black_box(3u32) * 7));
+        g.finish();
+        assert_eq!(c.results[0].0, "grp/x");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for `rayon`, covering the surface this workspace uses:
+//!
+//! * [`join`] — run two closures on two threads, return both results;
+//! * `.par_iter()` / `.into_par_iter()` followed by `.map(...).collect()` —
+//!   a parallel map over a known-length input, preserving input order.
+//!
+//! There is no work-stealing pool: inputs here are small sweeps (a handful
+//! of scenarios or sweep points, each individually heavy), so one scoped
+//! thread per chunk with at most [`max_threads`] chunks is the right cost
+//! model and keeps this shim dependency-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads: available parallelism, capped at 16.
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Run `a` and `b` concurrently and return both results (`rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon shim: joined closure panicked");
+        (ra, rb)
+    })
+}
+
+/// A not-yet-mapped parallel iterator: the collected input items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A mapped parallel iterator, ready to `collect()`.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Apply `f` to every item in parallel (lazily, at `collect` time).
+    pub fn map<F, R>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Run the map across worker threads and collect in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_parallel(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map: workers pull indices from a shared
+/// counter, take the item out of its input slot, and deposit the result in
+/// the matching output slot.
+fn run_parallel<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let inputs: Vec<std::sync::Mutex<Option<I>>> = items
+        .into_iter()
+        .map(|i| std::sync::Mutex::new(Some(i)))
+        .collect();
+    let outputs: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = max_threads().min(n);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = inputs[idx]
+                    .lock()
+                    .expect("rayon shim: input slot poisoned")
+                    .take()
+                    .expect("rayon shim: input slot taken twice");
+                let result = f(item);
+                *outputs[idx]
+                    .lock()
+                    .expect("rayon shim: output slot poisoned") = Some(result);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("rayon shim: output slot poisoned")
+                .expect("rayon shim: worker left a hole")
+        })
+        .collect()
+}
+
+/// Conversion into a [`ParIter`], by value (`rayon::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type of the parallel iterator.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `.par_iter()` over a borrowed slice (`rayon::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_array() {
+        let out: Vec<String> = ["a", "b"]
+            .into_par_iter()
+            .map(|s| s.to_uppercase())
+            .collect();
+        assert_eq!(out, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

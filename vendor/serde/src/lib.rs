@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! unchanged. No code in this workspace consumes the serde traits (nothing
+//! bounds on `T: Serialize`), so no trait definitions are needed.
+
+pub use serde_derive::{Deserialize, Serialize};

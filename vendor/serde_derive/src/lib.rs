@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real serde cannot be
+//! fetched. Nothing in the codebase serializes through serde trait bounds —
+//! the `#[derive(Serialize, Deserialize)]` attributes only declare intent —
+//! so accepting the derives and emitting no code is sufficient and keeps
+//! every type's autotraits and layout untouched.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (with any `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (with any `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
