@@ -1,0 +1,89 @@
+//! Replay-throughput bench: per-second vs event-driven stepping on a
+//! two-day synthetic trace with realistic plateau structure (5-minute
+//! constant-load blocks following a diurnal shape — the granularity of
+//! binned production traffic).
+//!
+//! The headline metric printed before the criterion timings is
+//! **simulated-seconds per wall-clock second** for each engine, plus the
+//! speedup ratio. The development acceptance floor on this trace is 5x
+//! the per-second reference (measured ~8-15x on dev hardware); CI parses
+//! the speedup line from this bench's output and fails below a
+//! conservative 3x floor, absorbing shared-runner timing noise.
+
+use std::time::Instant;
+
+use bml_core::bml::BmlInfrastructure;
+use bml_core::catalog;
+use bml_sim::{scenarios, SimConfig, Stepping};
+use bml_trace::LoadTrace;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Deterministic two-day trace of 5-minute constant-load plateaus
+/// tracking a diurnal cycle between ~10 and ~2510 req/s.
+fn plateau_trace(days: u32) -> LoadTrace {
+    let n = days as usize * 86_400;
+    let mut rates = Vec::with_capacity(n);
+    for t in 0..n {
+        let block_start = t / 300 * 300; // 5-minute plateaus
+        let hour = (block_start % 86_400) as f64 / 3_600.0;
+        let phase = (hour - 4.0) / 24.0 * std::f64::consts::TAU;
+        let diurnal = 0.5 - 0.5 * phase.cos();
+        rates.push((10.0 + 2_500.0 * diurnal).round());
+    }
+    LoadTrace::new(0, rates)
+}
+
+fn bench_engine_replay(c: &mut Criterion) {
+    let trace = plateau_trace(2);
+    let bml = BmlInfrastructure::build(&catalog::table1()).unwrap();
+    let per_second = SimConfig {
+        stepping: Stepping::PerSecond,
+        ..Default::default()
+    };
+    let event_driven = SimConfig {
+        stepping: Stepping::EventDriven,
+        ..Default::default()
+    };
+
+    // Headline: simulated-seconds per wall-clock second, per engine.
+    // Best-of-5 (minimum wall time) so the CI-gated ratio is not at the
+    // mercy of a single OS-scheduling stall on a shared runner — the
+    // event-driven replay finishes in ~1 ms, where one-shot timing would
+    // be dominated by jitter.
+    let sim_secs = trace.len() as f64;
+    let mut rates = [0.0f64; 2];
+    for (i, (name, cfg)) in [("per-second", &per_second), ("event-driven", &event_driven)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut best_wall = f64::INFINITY;
+        for _ in 0..5 {
+            let started = Instant::now();
+            let r = scenarios::bml_proactive(&trace, &bml, cfg);
+            best_wall = best_wall.min(started.elapsed().as_secs_f64());
+            black_box(r);
+        }
+        rates[i] = sim_secs / best_wall;
+        println!(
+            "engine_replay/{name:<12} {:>12.0} simulated-s/wallclock-s  ({:.0} sim-s in {:.4} s)",
+            rates[i], sim_secs, best_wall
+        );
+    }
+    println!(
+        "engine_replay speedup: event-driven is {:.1}x the per-second engine",
+        rates[1] / rates[0]
+    );
+
+    let mut g = c.benchmark_group("engine_replay");
+    g.sample_size(10);
+    g.bench_function("per_second_2day", |b| {
+        b.iter(|| scenarios::bml_proactive(black_box(&trace), black_box(&bml), &per_second))
+    });
+    g.bench_function("event_driven_2day", |b| {
+        b.iter(|| scenarios::bml_proactive(black_box(&trace), black_box(&bml), &event_driven))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_replay);
+criterion_main!(benches);

@@ -62,6 +62,7 @@ fn main() {
         let window = bml_core::scheduler::paper_window_length(bml.candidates()).max(1);
         let config = SimConfig {
             window: Some(window),
+            stepping: args.stepping,
             ..Default::default()
         };
         let r = scenarios::bml_proactive(&trace, &bml, &config);

@@ -35,7 +35,14 @@ fn main() {
         sigmas.len(),
         args.days
     );
-    let results = sweep_prediction_noise(&trace, &bml, &sigmas, args.seed, &SimConfig::default());
+    // Noisy (sigma > 0) runs force the per-second reference loop — their
+    // per-call RNG cannot be segmented; the sigma=0 baseline runs the
+    // clean predictor and honors this stepping choice.
+    let config = SimConfig {
+        stepping: args.stepping,
+        ..Default::default()
+    };
+    let results = sweep_prediction_noise(&trace, &bml, &sigmas, args.seed, &config);
 
     println!(
         "Prediction-error ablation ({} days, seed {}):\n",

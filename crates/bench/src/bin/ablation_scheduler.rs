@@ -26,7 +26,11 @@ fn main() {
         ..Default::default()
     });
     let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
-    let results = sweep_scheduler(&trace, &bml, &SimConfig::default());
+    let config = SimConfig {
+        stepping: args.stepping,
+        ..Default::default()
+    };
+    let results = sweep_scheduler(&trace, &bml, &config);
 
     println!(
         "Scheduler ablation ({} days, seed {}):\n",

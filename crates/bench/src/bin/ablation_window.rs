@@ -34,7 +34,11 @@ fn main() {
         windows.len(),
         args.days
     );
-    let results = sweep_window(&trace, &bml, &windows, &SimConfig::default());
+    let config = SimConfig {
+        stepping: args.stepping,
+        ..Default::default()
+    };
+    let results = sweep_window(&trace, &bml, &windows, &config);
 
     println!(
         "Window-length ablation ({} days, seed {}):\n",

@@ -26,10 +26,22 @@ fn main() {
         },
         round_max_perf: true,
     };
+    let machines = paper_machines();
     let started = std::time::Instant::now();
-    let measured = profile_park(&paper_machines(), &cfg);
+    let measured = profile_park(&machines, &cfg);
     let wall_s = started.elapsed().as_secs_f64();
     let published = catalog::table1();
+    // Emulated benchmark-harness time: per machine, one idle run plus
+    // `cores x max_concurrency_factor` levels of `repetitions` runs, each
+    // `run_seconds` long — the table-1 equivalent of simulated seconds.
+    let b = &cfg.benchmark;
+    let emulated_s: u64 = machines
+        .iter()
+        .map(|m| {
+            (1 + u64::from(m.cores * b.max_concurrency_factor) * u64::from(b.repetitions))
+                * b.run_seconds
+        })
+        .sum();
 
     let mut table = Table::new(&[
         "architecture",
@@ -66,7 +78,7 @@ fn main() {
     }
 
     if let Some(path) = &args.json {
-        let machines = measured
+        let machine_objs = measured
             .iter()
             .map(|m| {
                 json::Object::new()
@@ -84,7 +96,9 @@ fn main() {
             .str("experiment", "table1")
             .int("seed", args.seed)
             .num("wall_s", wall_s)
-            .objs("machines", machines);
+            .int("sim_seconds", emulated_s)
+            .num("sim_seconds_per_wall_second", emulated_s as f64 / wall_s)
+            .objs("machines", machine_objs);
         summary.write(path).expect("write JSON summary");
         eprintln!("wrote {path}");
     }

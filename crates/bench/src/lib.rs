@@ -9,7 +9,8 @@
 /// Common command-line options of the experiment binaries.
 ///
 /// Flags: `--seed N`, `--days N`, `--window S`, `--csv`, `--noise SIGMA`,
-/// `--json PATH`. Unknown flags abort with a usage message.
+/// `--json PATH`, `--stepping event|per-second`. Unknown flags abort with
+/// a usage message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Args {
     /// RNG seed (default 1998, the shipped experiment seed).
@@ -25,6 +26,9 @@ pub struct Args {
     /// Also write a machine-readable summary (the `BENCH_*.json` perf
     /// trajectory CI uploads) to this path.
     pub json: Option<String>,
+    /// Engine stepping mode for the simulation binaries: event-driven
+    /// skip-ahead (default) or the per-second reference loop.
+    pub stepping: bml_sim::Stepping,
 }
 
 impl Default for Args {
@@ -36,6 +40,7 @@ impl Default for Args {
             csv: false,
             noise: 0.0,
             json: None,
+            stepping: bml_sim::Stepping::default(),
         }
     }
 }
@@ -62,9 +67,18 @@ impl Args {
                 "--noise" => out.noise = parse_num(&value("--noise"), "--noise"),
                 "--csv" => out.csv = true,
                 "--json" => out.json = Some(value("--json")),
+                "--stepping" => {
+                    out.stepping = match value("--stepping").as_str() {
+                        "event" | "event-driven" => bml_sim::Stepping::EventDriven,
+                        "per-second" | "per_second" => bml_sim::Stepping::PerSecond,
+                        other => die(&format!(
+                            "bad value '{other}' for --stepping (want 'event' or 'per-second')"
+                        )),
+                    }
+                }
                 "--help" | "-h" => die(
                     "usage: [--seed N] [--days N] [--window S] [--noise SIGMA] [--csv] \
-                     [--json PATH]",
+                     [--json PATH] [--stepping event|per-second]",
                 ),
                 other => die(&format!("unknown flag '{other}'")),
             }
@@ -198,13 +212,25 @@ mod tests {
         assert_eq!(a.days, 87);
         assert_eq!(a.window, None);
         assert!(!a.csv);
+        assert_eq!(a.stepping, bml_sim::Stepping::EventDriven);
     }
 
     #[test]
     fn all_flags() {
         let a = parse(&[
-            "--seed", "7", "--days", "3", "--window", "600", "--noise", "0.2", "--csv", "--json",
+            "--seed",
+            "7",
+            "--days",
+            "3",
+            "--window",
+            "600",
+            "--noise",
+            "0.2",
+            "--csv",
+            "--json",
             "out.json",
+            "--stepping",
+            "per-second",
         ]);
         assert_eq!(a.seed, 7);
         assert_eq!(a.days, 3);
@@ -212,6 +238,19 @@ mod tests {
         assert_eq!(a.noise, 0.2);
         assert!(a.csv);
         assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.stepping, bml_sim::Stepping::PerSecond);
+    }
+
+    #[test]
+    fn stepping_aliases() {
+        assert_eq!(
+            parse(&["--stepping", "event-driven"]).stepping,
+            bml_sim::Stepping::EventDriven
+        );
+        assert_eq!(
+            parse(&["--stepping", "per_second"]).stepping,
+            bml_sim::Stepping::PerSecond
+        );
     }
 
     #[test]

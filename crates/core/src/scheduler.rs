@@ -107,6 +107,16 @@ impl ProActiveScheduler {
         self.busy_until
     }
 
+    /// Event-driven replay hint: the next time after `now` at which the
+    /// scheduler must be consulted even if its inputs do not change —
+    /// the unlock instant of the in-flight reconfiguration. `None` means
+    /// the scheduler only needs waking when the prediction changes
+    /// (its decision is a pure function of the prediction and the
+    /// current configuration).
+    pub fn next_wakeup(&self, now: u64) -> Option<u64> {
+        self.busy_until.filter(|&u| u > now)
+    }
+
     /// Accumulated counters.
     pub fn stats(&self) -> &SchedulerStats {
         &self.stats
@@ -207,6 +217,17 @@ mod tests {
             }
             d => panic!("expected reconfigure after unlock, got {d:?}"),
         }
+    }
+
+    #[test]
+    fn next_wakeup_tracks_the_lock() {
+        let bml = bml();
+        let mut s = ProActiveScheduler::new(bml.n_archs());
+        assert_eq!(s.next_wakeup(0), None);
+        s.decide(0, 600.0, &bml); // boots a Big: locked until 189
+        assert_eq!(s.next_wakeup(0), Some(189));
+        assert_eq!(s.next_wakeup(188), Some(189));
+        assert_eq!(s.next_wakeup(189), None);
     }
 
     #[test]

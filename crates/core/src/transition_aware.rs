@@ -114,6 +114,12 @@ impl TransitionAwareScheduler {
         self.busy_until
     }
 
+    /// Event-driven replay hint; same contract as
+    /// [`crate::scheduler::ProActiveScheduler::next_wakeup`].
+    pub fn next_wakeup(&self, now: u64) -> Option<u64> {
+        self.busy_until.filter(|&u| u > now)
+    }
+
     /// Generate the candidate configurations for a prediction.
     fn candidates(&self, predicted: f64, bml: &BmlInfrastructure) -> Vec<Configuration> {
         let n = bml.n_archs();
@@ -304,6 +310,8 @@ mod tests {
         assert!(s.is_locked(100));
         assert_eq!(s.decide(100, 1.0, &bml), Decision::Locked { until: 189 });
         assert!(!s.is_locked(189));
+        assert_eq!(s.next_wakeup(100), Some(189));
+        assert_eq!(s.next_wakeup(189), None);
     }
 
     #[test]

@@ -54,14 +54,30 @@ impl EnergyMeter {
 
     /// Record one second at `power_w` Watts.
     pub fn record(&mut self, power_w: f64) {
+        self.accumulate_span(power_w, 1);
+    }
+
+    /// Record `secs` consecutive seconds at a constant `power_w` Watts in
+    /// O(days touched) instead of O(secs): the batched-accumulation API
+    /// of the event-driven replay engine, where a flat stretch costs one
+    /// update instead of one per second. Spans crossing day boundaries
+    /// are split so per-day energies stay exact.
+    pub fn accumulate_span(&mut self, power_w: f64, secs: u64) {
         debug_assert!(power_w >= 0.0, "power cannot be negative");
-        self.total_j += power_w;
-        let day = (self.samples / SECONDS_PER_DAY) as usize;
-        if self.daily_j.len() <= day {
-            self.daily_j.resize(day + 1, 0.0);
+        let mut remaining = secs;
+        while remaining > 0 {
+            let day = (self.samples / SECONDS_PER_DAY) as usize;
+            let left_in_day = SECONDS_PER_DAY - self.samples % SECONDS_PER_DAY;
+            let chunk = remaining.min(left_in_day);
+            let energy = power_w * chunk as f64;
+            if self.daily_j.len() <= day {
+                self.daily_j.resize(day + 1, 0.0);
+            }
+            self.daily_j[day] += energy;
+            self.total_j += energy;
+            self.samples += chunk;
+            remaining -= chunk;
         }
-        self.daily_j[day] += power_w;
-        self.samples += 1;
     }
 
     /// Add a lump of energy (J) — e.g. a reconfiguration overhead — to the
@@ -89,6 +105,12 @@ impl EnergyMeter {
     /// Per-day energies (J).
     pub fn daily_joules(&self) -> &[f64] {
         &self.daily_j
+    }
+
+    /// Consume the meter and take the per-day energies without copying —
+    /// for result structs that outlive the meter (read totals first).
+    pub fn into_daily_joules(self) -> Vec<f64> {
+        self.daily_j
     }
 
     /// Seconds recorded.
@@ -196,6 +218,46 @@ mod tests {
         assert_eq!(m.daily_joules().len(), 2);
         assert_eq!(m.daily_joules()[0], SECONDS_PER_DAY as f64);
         assert_eq!(m.daily_joules()[1], 10.0);
+    }
+
+    #[test]
+    fn span_accumulation_splits_day_boundaries() {
+        // A span straddling two day boundaries lands in three day bins.
+        let mut m = EnergyMeter::new();
+        m.accumulate_span(2.0, SECONDS_PER_DAY / 2); // half of day 0
+        m.accumulate_span(1.0, 2 * SECONDS_PER_DAY); // rest of day 0, day 1, half of day 2
+        assert_eq!(m.daily_joules().len(), 3);
+        assert_eq!(
+            m.daily_joules()[0],
+            SECONDS_PER_DAY as f64 / 2.0 * 2.0 + SECONDS_PER_DAY as f64 / 2.0
+        );
+        assert_eq!(m.daily_joules()[1], SECONDS_PER_DAY as f64);
+        assert_eq!(m.daily_joules()[2], SECONDS_PER_DAY as f64 / 2.0);
+        assert_eq!(m.seconds(), SECONDS_PER_DAY / 2 + 2 * SECONDS_PER_DAY);
+        let daily: f64 = m.daily_joules().iter().sum();
+        assert!((daily - m.total_joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_of_one_is_record() {
+        let mut a = EnergyMeter::new();
+        let mut b = EnergyMeter::new();
+        for w in [3.25, 0.0, 7.5] {
+            a.record(w);
+            b.accumulate_span(w, 1);
+        }
+        assert_eq!(a, b);
+        // Zero-length spans are no-ops.
+        b.accumulate_span(100.0, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_daily_joules_moves_the_bins() {
+        let mut m = EnergyMeter::new();
+        m.record(4.0);
+        m.record(6.0);
+        assert_eq!(m.into_daily_joules(), vec![10.0]);
     }
 
     #[test]

@@ -60,17 +60,22 @@ impl ArchPool {
     }
 }
 
-/// The simulated cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Cluster {
-    profiles: Vec<ArchProfile>,
+/// The simulated cluster. Borrows the candidate profiles from the
+/// infrastructure that owns them — a replay spins up one cluster per
+/// scenario, and cloning the profile vector per run was a measurable
+/// share of the sweep runners' allocations. Serialize-only: the borrowed
+/// profiles slice cannot be deserialized into (rebuild a cluster from its
+/// owning infrastructure instead).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Cluster<'a> {
+    profiles: &'a [ArchProfile],
     pools: Vec<ArchPool>,
     split: SplitPolicy,
 }
 
-impl Cluster {
+impl<'a> Cluster<'a> {
     /// Empty cluster (everything off) over the candidate profiles.
-    pub fn new(profiles: Vec<ArchProfile>, split: SplitPolicy) -> Self {
+    pub fn new(profiles: &'a [ArchProfile], split: SplitPolicy) -> Self {
         let pools = vec![ArchPool::default(); profiles.len()];
         Cluster {
             profiles,
@@ -81,7 +86,7 @@ impl Cluster {
 
     /// Cluster with `counts[k]` machines of each architecture already
     /// online (warm start).
-    pub fn with_online(profiles: Vec<ArchProfile>, counts: &[u32], split: SplitPolicy) -> Self {
+    pub fn with_online(profiles: &'a [ArchProfile], counts: &[u32], split: SplitPolicy) -> Self {
         let mut c = Cluster::new(profiles, split);
         assert_eq!(counts.len(), c.pools.len());
         for (pool, &n) in c.pools.iter_mut().zip(counts) {
@@ -92,7 +97,7 @@ impl Cluster {
 
     /// The candidate profiles (Big first).
     pub fn profiles(&self) -> &[ArchProfile] {
-        &self.profiles
+        self.profiles
     }
 
     /// Per-architecture pool states.
@@ -269,9 +274,53 @@ impl Cluster {
     /// serve `load` under the cluster's split policy, transitions add
     /// their ramp power.
     pub fn power(&self, load: f64) -> (f64, f64) {
-        let counts = self.online_counts();
-        let (serving, served) = config_power(&self.profiles, &counts, load, self.split);
+        let mut scratch = Vec::with_capacity(self.pools.len());
+        self.power_into(load, &mut scratch)
+    }
+
+    /// Allocation-free variant of [`Cluster::power`] for hot replay
+    /// loops: the caller owns the online-counts scratch buffer and reuses
+    /// it across calls.
+    pub fn power_into(&self, load: f64, counts_scratch: &mut Vec<u32>) -> (f64, f64) {
+        counts_scratch.clear();
+        counts_scratch.extend(self.pools.iter().map(|p| p.online));
+        let (serving, served) = config_power(self.profiles, counts_scratch, load, self.split);
         (serving + self.transition_power(), served)
+    }
+
+    /// Earliest pending lifecycle epoch across all pools — a boot
+    /// completion, a retirement handover start, a shutdown completion, or
+    /// a crashed machine's repair start — or `None` when no transition is
+    /// in flight. The event-driven engine must [`Cluster::tick`] at every
+    /// such instant; *between* them online counts and ramp power are
+    /// constant, which is what makes span-wise integration exact.
+    pub fn next_transition_event(&self) -> Option<u64> {
+        self.pools
+            .iter()
+            .flat_map(|p| {
+                p.booting
+                    .iter()
+                    .chain(&p.pending_off)
+                    .chain(&p.shutting)
+                    .chain(&p.repairing)
+                    .map(|&(t, _)| t)
+            })
+            .min()
+    }
+
+    /// Transition-ramp energy (J) over a span of `secs` seconds that
+    /// contains no transition epoch (see
+    /// [`Cluster::next_transition_event`]): booting/shutting counts are
+    /// constant over such a span, so the per-second ramps integrate
+    /// exactly to `transition_power() * secs`.
+    ///
+    /// This is the span-integration *identity* the event-driven engine
+    /// relies on — there the ramp is folded into the total power
+    /// ([`Cluster::power_into`]) and integrated by
+    /// `EnergyMeter::accumulate_span`, so this helper is for external
+    /// substrates and tests that want the ramp share in isolation.
+    pub fn transition_energy_over(&self, secs: u64) -> f64 {
+        self.transition_power() * secs as f64
     }
 
     /// Machines tracked in any state (diagnostics).
@@ -289,8 +338,8 @@ mod tests {
     use bml_core::catalog;
     use bml_core::reconfig::{plan_reconfiguration, Configuration};
 
-    fn cluster() -> Cluster {
-        Cluster::new(catalog::paper_bml_trio(), SplitPolicy::EfficiencyGreedy)
+    fn trio() -> Vec<ArchProfile> {
+        catalog::paper_bml_trio()
     }
 
     fn plan(from: &[u32], to: &[u32]) -> ReconfigPlan {
@@ -304,7 +353,8 @@ mod tests {
 
     #[test]
     fn boot_takes_on_duration() {
-        let mut c = cluster();
+        let profiles = trio();
+        let mut c = Cluster::new(&profiles, SplitPolicy::EfficiencyGreedy);
         c.apply(&plan(&[0, 0, 0], &[0, 1, 0]), 100); // chromebook: 12 s
         assert_eq!(c.online_counts(), vec![0, 0, 0]);
         assert_eq!(c.pools()[1].booting_count(), 1);
@@ -317,7 +367,8 @@ mod tests {
 
     #[test]
     fn boot_power_integrates_to_on_energy() {
-        let mut c = cluster();
+        let profiles = trio();
+        let mut c = Cluster::new(&profiles, SplitPolicy::EfficiencyGreedy);
         c.apply(&plan(&[0, 0, 0], &[1, 0, 0]), 0); // paravance: 189 s, 21341 J
         let mut energy = 0.0;
         for t in 0..189 {
@@ -331,12 +382,28 @@ mod tests {
     }
 
     #[test]
+    fn span_integration_matches_per_second_ramp() {
+        // The event-driven engine's span identity: over the whole boot
+        // (no transition epoch strictly inside), ramp energy integrates
+        // in one multiplication to exactly the Table I boot energy.
+        let profiles = trio();
+        let mut c = Cluster::new(&profiles, SplitPolicy::EfficiencyGreedy);
+        c.apply(&plan(&[0, 0, 0], &[1, 0, 0]), 0); // paravance: 189 s, 21341 J
+        c.tick(0);
+        assert_eq!(c.next_transition_event(), Some(189));
+        assert!((c.transition_energy_over(189) - 21341.0).abs() < 1e-6);
+        // And the buffered power path agrees with the allocating one.
+        let mut scratch = Vec::new();
+        assert_eq!(c.power_into(0.0, &mut scratch), c.power(0.0));
+        c.tick(189);
+        assert_eq!(c.next_transition_event(), None);
+        assert_eq!(c.transition_energy_over(1_000), 0.0);
+    }
+
+    #[test]
     fn shutdown_leaves_service_immediately() {
-        let mut c = Cluster::with_online(
-            catalog::paper_bml_trio(),
-            &[1, 0, 0],
-            SplitPolicy::EfficiencyGreedy,
-        );
+        let profiles = trio();
+        let mut c = Cluster::with_online(&profiles, &[1, 0, 0], SplitPolicy::EfficiencyGreedy);
         assert_eq!(c.capacity(), 1331.0);
         c.apply(&plan(&[1, 0, 0], &[0, 0, 0]), 50); // off: 10 s, 657 J
         assert_eq!(c.capacity(), 0.0);
@@ -352,11 +419,8 @@ mod tests {
 
     #[test]
     fn serving_power_plus_transitions() {
-        let mut c = Cluster::with_online(
-            catalog::paper_bml_trio(),
-            &[0, 1, 0],
-            SplitPolicy::EfficiencyGreedy,
-        );
+        let profiles = trio();
+        let mut c = Cluster::with_online(&profiles, &[0, 1, 0], SplitPolicy::EfficiencyGreedy);
         c.apply(&plan(&[0, 1, 0], &[0, 1, 1]), 0); // boot a raspberry
         c.tick(0);
         let (w, served) = c.power(20.0);
@@ -368,11 +432,8 @@ mod tests {
 
     #[test]
     fn overload_served_capped() {
-        let c = Cluster::with_online(
-            catalog::paper_bml_trio(),
-            &[0, 0, 2],
-            SplitPolicy::EfficiencyGreedy,
-        );
+        let profiles = trio();
+        let c = Cluster::with_online(&profiles, &[0, 0, 2], SplitPolicy::EfficiencyGreedy);
         let (_, served) = c.power(100.0);
         assert_eq!(served, 18.0);
     }
@@ -380,7 +441,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "switch-off")]
     fn switching_off_more_than_online_panics() {
-        let mut c = cluster();
+        let profiles = trio();
+        let mut c = Cluster::new(&profiles, SplitPolicy::EfficiencyGreedy);
         c.apply(&plan(&[2, 0, 0], &[0, 0, 0]), 0);
     }
 
@@ -396,7 +458,7 @@ mod tests {
             &Configuration(vec![1, 0]),
         )
         .unwrap();
-        let mut c = Cluster::new(profiles, SplitPolicy::EfficiencyGreedy);
+        let mut c = Cluster::new(&profiles, SplitPolicy::EfficiencyGreedy);
         c.apply(&plan, 5);
         c.tick(5);
         assert_eq!(c.online_counts(), vec![1, 0]);
@@ -405,7 +467,8 @@ mod tests {
 
     #[test]
     fn staggered_boots_complete_independently() {
-        let mut c = cluster();
+        let profiles = trio();
+        let mut c = Cluster::new(&profiles, SplitPolicy::EfficiencyGreedy);
         c.apply(&plan(&[0, 0, 0], &[0, 1, 0]), 0); // CB online at 12
                                                    // Lock-free in this unit test: apply another boot at t=5.
         c.apply(&plan(&[0, 1, 0], &[0, 2, 0]), 5); // second CB online at 17
@@ -417,11 +480,8 @@ mod tests {
 
     #[test]
     fn mixed_plan_graceful_handover() {
-        let mut c = Cluster::with_online(
-            catalog::paper_bml_trio(),
-            &[1, 0, 0],
-            SplitPolicy::EfficiencyGreedy,
-        );
+        let profiles = trio();
+        let mut c = Cluster::with_online(&profiles, &[1, 0, 0], SplitPolicy::EfficiencyGreedy);
         c.apply(&plan(&[1, 0, 0], &[0, 16, 1]), 0);
         // The Big keeps serving while the small machines boot.
         assert_eq!(c.online_counts(), vec![1, 0, 0]);
@@ -446,11 +506,8 @@ mod tests {
     fn capacity_never_drops_during_handover() {
         // The whole point of the handover: an architecture swap keeps the
         // old capacity until the new capacity is up.
-        let mut c = Cluster::with_online(
-            catalog::paper_bml_trio(),
-            &[0, 16, 0],
-            SplitPolicy::EfficiencyGreedy,
-        );
+        let profiles = trio();
+        let mut c = Cluster::with_online(&profiles, &[0, 16, 0], SplitPolicy::EfficiencyGreedy);
         c.apply(&plan(&[0, 16, 0], &[1, 0, 0]), 0); // 16 CBs -> 1 Big
         for t in 0..189 {
             c.tick(t);

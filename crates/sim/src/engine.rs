@@ -1,5 +1,8 @@
 //! The BML simulation engine: the paper's pro-active placement loop
-//! (Sec. V-C) driven at 1 Hz over a load trace.
+//! (Sec. V-C) driven over a load trace, with two interchangeable
+//! stepping modes.
+//!
+//! # Per-second mode (the reference implementation)
 //!
 //! Each second the engine (1) promotes matured machine transitions,
 //! (2) lets the scheduler decide — unless a reconfiguration is in flight —
@@ -9,11 +12,47 @@
 //! consumed by computation and by On/Off reconfigurations", exactly as
 //! Fig. 5 accounts them.
 //!
+//! # Event-driven mode (skip-ahead replay)
+//!
+//! Everything the per-second loop computes is piecewise-constant in time:
+//! the prediction is constant between change-points of the look-ahead-max
+//! table, the scheduler's decision is a pure function of (prediction,
+//! current configuration), and the cluster's power is a pure function of
+//! (raw load, pool states), where pool states only change at transition
+//! maturity epochs. So instead of ticking 86 400 times per simulated day,
+//! the event-driven loop jumps `now` directly to the next *event*:
+//!
+//! * a **prediction change-point** ([`bml_trace::Predictor::next_change`]),
+//! * a **transition maturity epoch** — boot completion, handover,
+//!   shutdown completion ([`Cluster::next_transition_event`]),
+//! * the **reconfiguration unlock** instant (the schedulers'
+//!   `next_wakeup` hint),
+//!
+//! and batches the power/QoS accounting of the skipped stretch over the
+//! maximal runs of constant raw load inside it
+//! ([`bml_trace::LoadTrace::run_end`], `EnergyMeter::accumulate_span`,
+//! `QosReport::record_span` — day boundaries are split inside the meter).
+//! A 378 s flat stretch costs one update instead of 378. Both modes are
+//! property-tested to produce the same daily energies, QoS counters and
+//! reconfiguration log (energies agree to float-accumulation rounding,
+//! everything discrete exactly).
+//!
+//! # When per-second mode is still required
+//!
+//! The event-driven engine silently falls back to the per-second loop
+//! when the run cannot be segmented:
+//!
+//! * the predictor is not piecewise-constant with known change-points
+//!   (`Predictor::is_segmented() == false` — EWMA, last-value, and any
+//!   noise-injecting wrapper, whose RNG must be drawn once per second);
+//! * a [`FailureModel`] is configured — crashes are sampled per machine
+//!   per second, so skipping seconds would change the failure trajectory.
+//!
 //! The per-second ideal-combination queries (the scheduler's no-change
 //! test and the target configuration) are served by the infrastructure's
 //! precomputed [`bml_core::table::CombinationTable`] in O(log segments),
-//! so long trace replays and the rayon sweep runners never pay the full
-//! combination search once per simulated second.
+//! so even the reference mode never pays the full combination search once
+//! per simulated second.
 
 use bml_app::{plan_migrations, ApplicationSpec};
 use bml_core::bml::BmlInfrastructure;
@@ -39,6 +78,21 @@ pub enum SchedulerKind {
     TransitionAware(TransitionAwareConfig),
 }
 
+/// How the engine advances simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stepping {
+    /// Tick every simulated second — the reference implementation.
+    PerSecond,
+    /// Jump between events (prediction change-points, transition
+    /// maturities, reconfiguration unlocks) and batch the accounting of
+    /// the constant stretches in between. Result-identical to
+    /// [`Stepping::PerSecond`] up to float-accumulation rounding; falls
+    /// back to it automatically for non-segmented predictors or when a
+    /// failure model is configured (see the module docs).
+    #[default]
+    EventDriven,
+}
+
 /// Internal dispatch over the two scheduler implementations.
 enum AnyScheduler {
     Baseline(ProActiveScheduler),
@@ -56,6 +110,12 @@ impl AnyScheduler {
         match self {
             AnyScheduler::Baseline(s) => s.is_locked(now),
             AnyScheduler::Aware(s) => s.is_locked(now),
+        }
+    }
+    fn next_wakeup(&self, now: u64) -> Option<u64> {
+        match self {
+            AnyScheduler::Baseline(s) => s.next_wakeup(now),
+            AnyScheduler::Aware(s) => s.next_wakeup(now),
         }
     }
     fn stats(&self) -> &SchedulerStats {
@@ -82,8 +142,10 @@ pub struct SimConfig {
     pub app: Option<ApplicationSpec>,
     /// Scheduler implementation.
     pub scheduler: SchedulerKind,
-    /// Optional machine-crash injection.
+    /// Optional machine-crash injection (forces per-second stepping).
     pub failures: Option<FailureModel>,
+    /// Time-stepping mode; see [`Stepping`].
+    pub stepping: Stepping,
 }
 
 impl Default for SimConfig {
@@ -95,6 +157,7 @@ impl Default for SimConfig {
             app: Some(ApplicationSpec::stateless_web_server()),
             scheduler: SchedulerKind::Baseline,
             failures: None,
+            stepping: Stepping::default(),
         }
     }
 }
@@ -110,6 +173,15 @@ pub struct FailureModel {
     pub repair_s: u64,
     /// RNG seed (failures are deterministic given the seed).
     pub seed: u64,
+}
+
+/// One reconfiguration launched during a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigRecord {
+    /// The second the decision was taken.
+    pub at: u64,
+    /// Per-architecture machine counts the plan targets.
+    pub target: Vec<u32>,
 }
 
 /// Aggregated outcome of one simulated scenario.
@@ -137,6 +209,128 @@ pub struct ScenarioResult {
     pub instance_migrations: u64,
     /// Machine crashes injected by the failure model.
     pub failures_injected: u64,
+    /// Every reconfiguration launched, in decision order — the replay's
+    /// audit trail, and what the stepping-equivalence property pins.
+    pub reconfig_log: Vec<ReconfigRecord>,
+}
+
+impl ScenarioResult {
+    /// Check that `other` is a replay-equivalent result of the same
+    /// scenario — the contract between the two stepping modes: every
+    /// discrete outcome (reconfiguration log, switch/migration/failure
+    /// counters, QoS second counts, worst shortfall, committed transition
+    /// energy) must match **exactly**, while float-accumulated energy
+    /// aggregates must agree within `rel_tol` relative (+1e-9 absolute
+    /// slack for zero-energy runs), since the two modes sum the same
+    /// per-second powers in different groupings.
+    ///
+    /// Returns the first divergence as an error message. This is the one
+    /// definition of "result-identical" shared by the unit tests, the
+    /// equivalence proptest, and (mirrored in JSON) CI's stepping gate.
+    pub fn check_replay_equivalent(
+        &self,
+        other: &ScenarioResult,
+        rel_tol: f64,
+    ) -> Result<(), String> {
+        let close = |a: f64, b: f64| (a - b).abs() <= rel_tol * a.abs().max(b.abs()) + 1e-9;
+        let exact_u64 = |field: &str, a: u64, b: u64| {
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!("{field} diverged: {a} vs {b}"))
+            }
+        };
+        if self.reconfig_log != other.reconfig_log {
+            return Err(format!(
+                "reconfig_log diverged ({} vs {} entries)",
+                self.reconfig_log.len(),
+                other.reconfig_log.len()
+            ));
+        }
+        exact_u64(
+            "reconfigurations",
+            self.reconfigurations,
+            other.reconfigurations,
+        )?;
+        exact_u64(
+            "nodes_switched_on",
+            self.nodes_switched_on,
+            other.nodes_switched_on,
+        )?;
+        exact_u64(
+            "nodes_switched_off",
+            self.nodes_switched_off,
+            other.nodes_switched_off,
+        )?;
+        exact_u64(
+            "instance_migrations",
+            self.instance_migrations,
+            other.instance_migrations,
+        )?;
+        exact_u64(
+            "failures_injected",
+            self.failures_injected,
+            other.failures_injected,
+        )?;
+        exact_u64(
+            "qos.demand_seconds",
+            self.qos.demand_seconds,
+            other.qos.demand_seconds,
+        )?;
+        exact_u64(
+            "qos.violation_seconds",
+            self.qos.violation_seconds,
+            other.qos.violation_seconds,
+        )?;
+        if self.qos.worst_shortfall != other.qos.worst_shortfall {
+            return Err(format!(
+                "qos.worst_shortfall diverged: {} vs {}",
+                self.qos.worst_shortfall, other.qos.worst_shortfall
+            ));
+        }
+        if self.reconfig_energy_j != other.reconfig_energy_j {
+            return Err(format!(
+                "reconfig_energy_j diverged: {} vs {}",
+                self.reconfig_energy_j, other.reconfig_energy_j
+            ));
+        }
+        for (field, a, b) in [
+            ("total_energy_j", self.total_energy_j, other.total_energy_j),
+            ("mean_power_w", self.mean_power_w, other.mean_power_w),
+            (
+                "qos.total_demand",
+                self.qos.total_demand,
+                other.qos.total_demand,
+            ),
+            (
+                "qos.total_served",
+                self.qos.total_served,
+                other.qos.total_served,
+            ),
+        ] {
+            if !close(a, b) {
+                return Err(format!("{field} diverged: {a} vs {b}"));
+            }
+        }
+        if self.daily_energy_j.len() != other.daily_energy_j.len() {
+            return Err(format!(
+                "daily_energy_j length diverged: {} vs {}",
+                self.daily_energy_j.len(),
+                other.daily_energy_j.len()
+            ));
+        }
+        for (d, (a, b)) in self
+            .daily_energy_j
+            .iter()
+            .zip(&other.daily_energy_j)
+            .enumerate()
+        {
+            if !close(*a, *b) {
+                return Err(format!("daily_energy_j[{d}] diverged: {a} vs {b}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Run the BML pro-active scenario over `trace` with the given predictor.
@@ -144,6 +338,10 @@ pub struct ScenarioResult {
 /// The predictor is generic: the paper's emulated prediction is
 /// [`bml_trace::LookaheadMaxPredictor`] over a 378 s window; noisy or
 /// reactive predictors plug in for the future-work experiments.
+///
+/// `config.stepping` selects the time-stepping mode; the event-driven
+/// mode transparently falls back to the per-second reference loop when
+/// the run cannot be segmented (see the module docs).
 pub fn simulate_bml(
     trace: &LoadTrace,
     bml: &BmlInfrastructure,
@@ -154,46 +352,71 @@ pub fn simulate_bml(
         .window
         .unwrap_or_else(|| paper_window_length(bml.candidates()));
     let _ = window; // the window is baked into the predictor; kept for reports
-    let n = bml.n_archs();
-
-    let initial = if config.cold_start {
-        Configuration::off(n)
+    let use_events = config.stepping == Stepping::EventDriven
+        && config.failures.is_none()
+        && predictor.is_segmented();
+    if use_events {
+        simulate_event_driven(trace, bml, predictor, config)
     } else {
-        Configuration(bml.combination_table().counts_for(predictor.predict(0)))
-    };
-    let mut cluster = Cluster::with_online(bml.candidates().to_vec(), &initial.0, config.split);
-    let mut sched = match &config.scheduler {
-        SchedulerKind::Baseline => {
-            AnyScheduler::Baseline(ProActiveScheduler::with_initial(initial))
-        }
-        SchedulerKind::TransitionAware(cfg) => {
-            AnyScheduler::Aware(TransitionAwareScheduler::with_initial(initial, cfg.clone()))
-        }
-    };
-    let mut meter = EnergyMeter::new();
-    let mut qos = QosReport::default();
-    let mut migrations = 0u64;
-    let mut failures_injected = 0u64;
-    let mut failure_rng = config
-        .failures
-        .as_ref()
-        .map(|f| rand::SeedableRng::seed_from_u64(f.seed));
+        simulate_per_second(trace, bml, predictor, config)
+    }
+}
 
-    for t in 0..trace.len() {
-        cluster.tick(t);
-        if let (Some(model), Some(rng)) = (&config.failures, failure_rng.as_mut()) {
-            failures_injected += inject_failures(&mut cluster, model, t, rng);
-        }
-        let prediction = if sched.is_locked(t) {
-            0.0 // ignored; decide() returns Locked without reading it
+/// Mutable state shared by the two stepping loops: cluster, scheduler,
+/// meters, and the bookkeeping around a reconfiguration decision.
+struct EngineState<'a> {
+    cluster: Cluster<'a>,
+    sched: AnyScheduler,
+    meter: EnergyMeter,
+    qos: QosReport,
+    migrations: u64,
+    failures_injected: u64,
+    reconfig_log: Vec<ReconfigRecord>,
+    /// Reused online-counts buffer for the per-step power query.
+    counts_scratch: Vec<u32>,
+}
+
+impl<'a> EngineState<'a> {
+    fn new(bml: &'a BmlInfrastructure, predictor: &mut dyn Predictor, config: &SimConfig) -> Self {
+        let n = bml.n_archs();
+        let initial = if config.cold_start {
+            Configuration::off(n)
         } else {
-            predictor.predict(t)
+            Configuration(bml.combination_table().counts_for(predictor.predict(0)))
         };
-        if let Decision::Reconfigure(plan) = sched.decide(t, prediction, bml) {
+        let cluster = Cluster::with_online(bml.candidates(), &initial.0, config.split);
+        let sched = match &config.scheduler {
+            SchedulerKind::Baseline => {
+                AnyScheduler::Baseline(ProActiveScheduler::with_initial(initial))
+            }
+            SchedulerKind::TransitionAware(cfg) => {
+                AnyScheduler::Aware(TransitionAwareScheduler::with_initial(initial, cfg.clone()))
+            }
+        };
+        EngineState {
+            cluster,
+            sched,
+            meter: EnergyMeter::new(),
+            qos: QosReport::default(),
+            migrations: 0,
+            failures_injected: 0,
+            reconfig_log: Vec::new(),
+            counts_scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// One scheduler consultation at `now`: decide, and on a
+    /// reconfiguration account migrations + zero-duration transition
+    /// lumps and apply the plan to the cluster. Identical in both
+    /// stepping modes — the event loop only calls it at event instants,
+    /// where the per-second loop's intermediate calls are provably
+    /// `NoChange` or `Locked`.
+    fn decide_at(&mut self, now: u64, predicted: f64, bml: &BmlInfrastructure, config: &SimConfig) {
+        if let Decision::Reconfigure(plan) = self.sched.decide(now, predicted, bml) {
             if let Some(app) = &config.app {
                 let mplan = plan_migrations(&plan.from.0, &plan.target.0, app.migration);
-                migrations += u64::from(mplan.migrations);
-                meter.add_energy(mplan.energy_j);
+                self.migrations += u64::from(mplan.migrations);
+                self.meter.add_energy(mplan.energy_j);
             }
             // Zero-duration transitions cannot be spread over time; charge
             // them as an instantaneous lump.
@@ -209,36 +432,126 @@ pub fn simulate_bml(
                 }
             }
             if lump > 0.0 {
-                meter.add_energy(lump);
+                self.meter.add_energy(lump);
             }
-            cluster.apply(&plan, t);
+            self.reconfig_log.push(ReconfigRecord {
+                at: now,
+                target: plan.target.0.clone(),
+            });
+            self.cluster.apply(&plan, now);
         }
-        let load = trace.get(t);
-        let (power, served) = cluster.power(load);
-        meter.record(power);
-        qos.record(load, served);
     }
 
-    let stats = sched.stats();
-    ScenarioResult {
-        name: "Big-Medium-Little".into(),
-        daily_energy_j: meter.daily_joules().to_vec(),
-        total_energy_j: meter.total_joules(),
-        mean_power_w: meter.mean_power(),
-        qos,
-        reconfigurations: stats.reconfigurations,
-        nodes_switched_on: stats.nodes_switched_on,
-        nodes_switched_off: stats.nodes_switched_off,
-        reconfig_energy_j: stats.reconfig_energy,
-        instance_migrations: migrations,
-        failures_injected,
+    fn finish(self) -> ScenarioResult {
+        let stats = self.sched.stats();
+        ScenarioResult {
+            name: "Big-Medium-Little".into(),
+            total_energy_j: self.meter.total_joules(),
+            mean_power_w: self.meter.mean_power(),
+            qos: self.qos,
+            reconfigurations: stats.reconfigurations,
+            nodes_switched_on: stats.nodes_switched_on,
+            nodes_switched_off: stats.nodes_switched_off,
+            reconfig_energy_j: stats.reconfig_energy,
+            instance_migrations: self.migrations,
+            failures_injected: self.failures_injected,
+            reconfig_log: self.reconfig_log,
+            daily_energy_j: self.meter.into_daily_joules(),
+        }
     }
+}
+
+/// The reference loop: one tick per simulated second.
+fn simulate_per_second(
+    trace: &LoadTrace,
+    bml: &BmlInfrastructure,
+    predictor: &mut dyn Predictor,
+    config: &SimConfig,
+) -> ScenarioResult {
+    let mut st = EngineState::new(bml, predictor, config);
+    let mut failure_rng = config
+        .failures
+        .as_ref()
+        .map(|f| rand::SeedableRng::seed_from_u64(f.seed));
+
+    for t in 0..trace.len() {
+        st.cluster.tick(t);
+        if let (Some(model), Some(rng)) = (&config.failures, failure_rng.as_mut()) {
+            st.failures_injected += inject_failures(&mut st.cluster, model, t, rng);
+        }
+        let prediction = if st.sched.is_locked(t) {
+            0.0 // ignored; decide() returns Locked without reading it
+        } else {
+            predictor.predict(t)
+        };
+        st.decide_at(t, prediction, bml, config);
+        let load = trace.get(t);
+        let (power, served) = st.cluster.power_into(load, &mut st.counts_scratch);
+        st.meter.record(power);
+        st.qos.record(load, served);
+    }
+    st.finish()
+}
+
+/// The skip-ahead loop: jump straight to the next event and batch the
+/// accounting of the constant stretch in between. See the module docs
+/// for the event model and the equivalence argument.
+fn simulate_event_driven(
+    trace: &LoadTrace,
+    bml: &BmlInfrastructure,
+    predictor: &mut dyn Predictor,
+    config: &SimConfig,
+) -> ScenarioResult {
+    debug_assert!(predictor.is_segmented() && config.failures.is_none());
+    let mut st = EngineState::new(bml, predictor, config);
+    let n = trace.len();
+    let mut now = 0u64;
+    while now < n {
+        st.cluster.tick(now);
+        let prediction = if st.sched.is_locked(now) {
+            0.0 // ignored; decide() returns Locked without reading it
+        } else {
+            predictor.predict(now)
+        };
+        st.decide_at(now, prediction, bml, config);
+
+        // Next decision-relevant event: between `now` and `next` the
+        // prediction, the scheduler's lock state, and the cluster's pool
+        // states are all constant, so every skipped per-second decision
+        // would have been `NoChange` (or `Locked`).
+        let mut next = n;
+        if let Some(t) = predictor.next_change(now) {
+            next = next.min(t);
+        }
+        if let Some(t) = st.cluster.next_transition_event() {
+            next = next.min(t);
+        }
+        if let Some(t) = st.sched.next_wakeup(now) {
+            next = next.min(t);
+        }
+        let next = next.clamp(now + 1, n);
+
+        // Batched accounting over [now, next): the cluster state is
+        // constant, so power only changes with the raw load — one meter
+        // and QoS update per maximal constant-load run.
+        let mut t = now;
+        while t < next {
+            let span_end = trace.run_end(t).min(next);
+            let load = trace.get(t);
+            let (power, served) = st.cluster.power_into(load, &mut st.counts_scratch);
+            st.meter.accumulate_span(power, span_end - t);
+            st.qos.record_span(load, served, span_end - t);
+            t = span_end;
+        }
+        now = next;
+    }
+    st.finish()
 }
 
 /// Sample this second's machine crashes: each online machine of each
 /// architecture dies independently with probability `1 / mtbf_s`.
 fn inject_failures(
-    cluster: &mut Cluster,
+    cluster: &mut Cluster<'_>,
     model: &FailureModel,
     now: u64,
     rng: &mut rand::rngs::StdRng,
@@ -277,11 +590,34 @@ mod tests {
         simulate_bml(trace, &bml, &mut p, config)
     }
 
+    /// Assert the two stepping modes agree: discrete outcomes exactly,
+    /// energies to float-accumulation rounding.
+    fn assert_steppings_agree(trace: &LoadTrace, config: &SimConfig) {
+        let per_second = run(
+            trace,
+            &SimConfig {
+                stepping: Stepping::PerSecond,
+                ..config.clone()
+            },
+        );
+        let event = run(
+            trace,
+            &SimConfig {
+                stepping: Stepping::EventDriven,
+                ..config.clone()
+            },
+        );
+        per_second
+            .check_replay_equivalent(&event, 1e-9)
+            .unwrap_or_else(|e| panic!("stepping modes diverged: {e}"));
+    }
+
     #[test]
     fn constant_load_never_reconfigures_after_warm_start() {
         let trace = synthetic::constant(100.0, 2_000);
         let r = run(&trace, &SimConfig::default());
         assert_eq!(r.reconfigurations, 0);
+        assert!(r.reconfig_log.is_empty());
         assert_eq!(r.qos.violation_seconds, 0);
         // Power: the combination's machines (3 chromebooks + 1 raspberry)
         // serving 100 req/s under the greedy split, constant over the run.
@@ -325,6 +661,10 @@ mod tests {
         assert!(r.reconfigurations >= 1);
         assert!(r.nodes_switched_on >= 1);
         assert!(r.reconfig_energy_j > 0.0);
+        // The log carries the decision instants.
+        assert_eq!(r.reconfig_log.len() as u64, r.reconfigurations);
+        assert!(r.reconfig_log[0].at >= 1_000 - 378);
+        assert!(r.reconfig_log[0].at < 1_000);
     }
 
     #[test]
@@ -423,6 +763,36 @@ mod tests {
     }
 
     #[test]
+    fn failure_model_forces_per_second_fallback() {
+        // Event-driven stepping with a failure model must produce exactly
+        // the per-second result (it falls back to the same loop, same RNG
+        // stream).
+        let trace = synthetic::constant(150.0, 1_500);
+        let failures = Some(FailureModel {
+            mtbf_s: 400.0,
+            repair_s: 20,
+            seed: 5,
+        });
+        let event = run(
+            &trace,
+            &SimConfig {
+                failures: failures.clone(),
+                stepping: Stepping::EventDriven,
+                ..Default::default()
+            },
+        );
+        let per_second = run(
+            &trace,
+            &SimConfig {
+                failures,
+                stepping: Stepping::PerSecond,
+                ..Default::default()
+            },
+        );
+        assert_eq!(event, per_second);
+    }
+
+    #[test]
     fn no_failures_without_model() {
         let trace = synthetic::constant(100.0, 500);
         let r = run(&trace, &SimConfig::default());
@@ -463,5 +833,56 @@ mod tests {
             },
         );
         assert_eq!(r.instance_migrations, 0);
+    }
+
+    #[test]
+    fn steppings_agree_on_step_trace() {
+        let mut rates = vec![50.0; 700];
+        rates.extend(vec![1_200.0; 700]);
+        rates.extend(vec![5.0; 700]);
+        let trace = LoadTrace::new(0, rates);
+        assert_steppings_agree(&trace, &SimConfig::default());
+    }
+
+    #[test]
+    fn steppings_agree_on_diurnal_and_cold_start() {
+        let trace = synthetic::diurnal(5.0, 900.0, 4.0, 1);
+        assert_steppings_agree(&trace, &SimConfig::default());
+        assert_steppings_agree(
+            &trace,
+            &SimConfig {
+                cold_start: true,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn steppings_agree_with_transition_aware_scheduler() {
+        let mut rates = vec![520.0; 800];
+        rates.extend(vec![30.0; 800]);
+        rates.extend(vec![2_600.0; 800]);
+        let trace = LoadTrace::new(0, rates);
+        assert_steppings_agree(
+            &trace,
+            &SimConfig {
+                scheduler: SchedulerKind::TransitionAware(TransitionAwareConfig::paper()),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn event_mode_handles_day_boundaries() {
+        // A flat trace spanning two days: one span crosses the boundary;
+        // the meter must split it into the right daily bins.
+        let trace = synthetic::constant(40.0, bml_trace::SECONDS_PER_DAY + 600);
+        let r = run(&trace, &SimConfig::default());
+        assert_eq!(r.daily_energy_j.len(), 2);
+        let b = bml();
+        let counts = b.ideal_combination(40.0).counts(3);
+        let (w, _) = b.config_power(&counts, 40.0, SplitPolicy::EfficiencyGreedy);
+        assert!((r.daily_energy_j[0] - w * bml_trace::SECONDS_PER_DAY as f64).abs() < 1e-3);
+        assert!((r.daily_energy_j[1] - w * 600.0).abs() < 1e-6);
     }
 }

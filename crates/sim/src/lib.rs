@@ -9,8 +9,9 @@
 //! * [`cluster`] — per-architecture machine pools with the
 //!   Off → Booting → On → ShuttingDown lifecycle and transition power
 //!   ramps that integrate exactly to the Table I transition energies;
-//! * [`engine`] — the per-second simulation loop driving the
-//!   `bml-core` scheduler with any `bml-trace` predictor;
+//! * [`engine`] — the simulation loop driving the `bml-core` scheduler
+//!   with any `bml-trace` predictor, in either per-second (reference) or
+//!   event-driven skip-ahead stepping ([`engine::Stepping`]);
 //! * [`qos`] — demand-vs-served accounting;
 //! * [`scenarios`] — the four Fig. 5 scenarios (two homogeneous upper
 //!   bounds, BML, the theoretical lower bound);
@@ -26,7 +27,9 @@ pub mod runner;
 pub mod scenarios;
 
 pub use cluster::{ArchPool, Cluster};
-pub use engine::{simulate_bml, FailureModel, ScenarioResult, SchedulerKind, SimConfig};
+pub use engine::{
+    simulate_bml, FailureModel, ReconfigRecord, ScenarioResult, SchedulerKind, SimConfig, Stepping,
+};
 pub use qos::QosReport;
 pub use runner::{
     run_comparison, sweep_prediction_noise, sweep_split_policy, sweep_window, ComparisonResult,

@@ -23,16 +23,24 @@ impl QosReport {
     /// Record one second of `demand` against `served`. Negative demand is
     /// treated as zero.
     pub fn record(&mut self, demand: f64, served: f64) {
-        if demand <= 0.0 {
+        self.record_span(demand, served, 1);
+    }
+
+    /// Record `secs` consecutive seconds of identical `demand` vs `served`
+    /// in O(1) — the span-wise violation counting of the event-driven
+    /// replay engine, which batches accounting over maximal runs of
+    /// constant load and cluster state.
+    pub fn record_span(&mut self, demand: f64, served: f64, secs: u64) {
+        if demand <= 0.0 || secs == 0 {
             return;
         }
         debug_assert!(served <= demand + 1e-9, "cannot serve more than demanded");
-        self.demand_seconds += 1;
-        self.total_demand += demand;
-        self.total_served += served.min(demand);
+        self.demand_seconds += secs;
+        self.total_demand += demand * secs as f64;
+        self.total_served += served.min(demand) * secs as f64;
         let shortfall = ((demand - served) / demand).clamp(0.0, 1.0);
         if shortfall > 1e-9 {
-            self.violation_seconds += 1;
+            self.violation_seconds += secs;
             if shortfall > self.worst_shortfall {
                 self.worst_shortfall = shortfall;
             }
@@ -101,6 +109,25 @@ mod tests {
         assert_eq!(q.demand_seconds, 0);
         assert_eq!(q.violation_fraction(), 0.0);
         assert_eq!(q.shortfall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn span_counts_match_per_second_counters() {
+        let mut per_second = QosReport::default();
+        let mut span = QosReport::default();
+        for _ in 0..37 {
+            per_second.record(80.0, 60.0);
+        }
+        span.record_span(80.0, 60.0, 37);
+        assert_eq!(per_second.demand_seconds, span.demand_seconds);
+        assert_eq!(per_second.violation_seconds, span.violation_seconds);
+        assert_eq!(per_second.worst_shortfall, span.worst_shortfall);
+        assert!((per_second.total_demand - span.total_demand).abs() < 1e-9);
+        assert!((per_second.total_served - span.total_served).abs() < 1e-9);
+        // Zero-demand and zero-length spans are no-ops.
+        span.record_span(0.0, 0.0, 100);
+        span.record_span(50.0, 50.0, 0);
+        assert_eq!(span.demand_seconds, 37);
     }
 
     #[test]

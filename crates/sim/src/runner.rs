@@ -49,13 +49,13 @@ pub fn run_comparison(
     bml: &BmlInfrastructure,
     config: &SimConfig,
 ) -> ComparisonResult {
-    let big = bml.big().clone();
+    let big = bml.big();
     let split = config.split;
     let ((ub_global, ub_per_day), (bml_res, lower_bound)) = rayon::join(
         || {
             rayon::join(
-                || scenarios::upper_bound_global(trace, &big, split),
-                || scenarios::upper_bound_per_day(trace, &big, split),
+                || scenarios::upper_bound_global(trace, big, split),
+                || scenarios::upper_bound_per_day(trace, big, split),
             )
         },
         || {
@@ -100,6 +100,11 @@ pub fn sweep_window(
 /// Future-work experiment (paper Sec. VI): impact of prediction *errors*
 /// on reconfiguration decisions. Each sigma injects relative gaussian
 /// error into the look-ahead-max prediction.
+///
+/// Noisy predictors draw their RNG once per consulted second, so these
+/// runs always execute on the per-second reference engine regardless of
+/// `base.stepping` (the engine detects the non-segmented predictor and
+/// falls back).
 pub fn sweep_prediction_noise(
     trace: &LoadTrace,
     bml: &BmlInfrastructure,
@@ -113,9 +118,17 @@ pub fn sweep_prediction_noise(
     sigmas
         .par_iter()
         .map(|&sigma| {
-            let inner = LookaheadMaxPredictor::new(trace, window);
-            let mut predictor = NoisyPredictor::new(inner, sigma, seed);
-            (sigma, simulate_bml(trace, bml, &mut predictor, base))
+            let mut inner = LookaheadMaxPredictor::new(trace, window);
+            if sigma == 0.0 {
+                // The noise wrapper is transparent at sigma 0 but would
+                // still force per-second stepping (its per-call RNG makes
+                // it non-segmented); run the clean predictor directly so
+                // the baseline honors `base.stepping`.
+                (sigma, simulate_bml(trace, bml, &mut inner, base))
+            } else {
+                let mut predictor = NoisyPredictor::new(inner, sigma, seed);
+                (sigma, simulate_bml(trace, bml, &mut predictor, base))
+            }
         })
         .collect()
 }

@@ -31,7 +31,10 @@ fn nodes_for(rate: f64, max_perf: f64) -> u32 {
 }
 
 /// Shared loop for the homogeneous upper bounds: `counts_for_day` gives
-/// the number of Big machines powered during each day.
+/// the number of Big machines powered during each day. The fleet is
+/// constant within a day, so power only changes with the raw load —
+/// accounting batches over maximal constant-load runs exactly like the
+/// event-driven engine.
 fn homogeneous_scenario(
     name: &str,
     trace: &LoadTrace,
@@ -42,17 +45,16 @@ fn homogeneous_scenario(
     let profiles = std::slice::from_ref(big);
     let mut meter = EnergyMeter::new();
     let mut qos = QosReport::default();
-    for t in 0..trace.len() {
-        let day = (t / bml_trace::SECONDS_PER_DAY) as u32;
+    for day in 0..trace.n_days() {
         let n = counts_for_day(day);
-        let load = trace.get(t);
-        let (w, served) = config_power(profiles, &[n], load, split);
-        meter.record(w);
-        qos.record(load, served);
+        for seg in bml_trace::constant_runs(trace.day(day)) {
+            let (w, served) = config_power(profiles, &[n], seg.value, split);
+            meter.accumulate_span(w, seg.len());
+            qos.record_span(seg.value, served, seg.len());
+        }
     }
     ScenarioResult {
         name: name.into(),
-        daily_energy_j: meter.daily_joules().to_vec(),
         total_energy_j: meter.total_joules(),
         mean_power_w: meter.mean_power(),
         qos,
@@ -62,6 +64,8 @@ fn homogeneous_scenario(
         reconfig_energy_j: 0.0,
         instance_migrations: 0,
         failures_injected: 0,
+        reconfig_log: Vec::new(),
+        daily_energy_j: meter.into_daily_joules(),
     }
 }
 
@@ -114,16 +118,18 @@ pub fn lower_bound_theoretical(
     let mut qos = QosReport::default();
     let table = bml.combination_table();
     let mut counts = vec![0u32; bml.n_archs()];
-    for t in 0..trace.len() {
-        let load = trace.get(t);
-        table.counts_into(load, &mut counts);
-        let (w, _) = config_power(bml.candidates(), &counts, load, split);
-        meter.record(w);
-        qos.record(load, load); // ideal combination always covers demand
+    // The ideal combination and its power are pure functions of the load,
+    // so the replay batches over maximal constant-load runs — one table
+    // lookup and one meter update per run (the meter splits day
+    // boundaries internally).
+    for seg in trace.constant_runs() {
+        table.counts_into(seg.value, &mut counts);
+        let (w, _) = config_power(bml.candidates(), &counts, seg.value, split);
+        meter.accumulate_span(w, seg.len());
+        qos.record_span(seg.value, seg.value, seg.len()); // always covered
     }
     ScenarioResult {
         name: "LowerBound Theoretical".into(),
-        daily_energy_j: meter.daily_joules().to_vec(),
         total_energy_j: meter.total_joules(),
         mean_power_w: meter.mean_power(),
         qos,
@@ -133,6 +139,8 @@ pub fn lower_bound_theoretical(
         reconfig_energy_j: 0.0,
         instance_migrations: 0,
         failures_injected: 0,
+        reconfig_log: Vec::new(),
+        daily_energy_j: meter.into_daily_joules(),
     }
 }
 

@@ -4,7 +4,9 @@
 use bml_core::bml::BmlInfrastructure;
 use bml_core::catalog;
 use bml_core::combination::SplitPolicy;
-use bml_sim::engine::{simulate_bml, SimConfig};
+use bml_core::profile::ArchProfile;
+use bml_core::transition_aware::TransitionAwareConfig;
+use bml_sim::engine::{simulate_bml, SchedulerKind, SimConfig, Stepping};
 use bml_sim::runner::run_comparison;
 use bml_sim::scenarios;
 use bml_trace::{LoadTrace, LookaheadMaxPredictor};
@@ -12,6 +14,43 @@ use proptest::prelude::*;
 
 fn bml() -> BmlInfrastructure {
     BmlInfrastructure::build(&catalog::table1()).unwrap()
+}
+
+/// Strategy: a random valid architecture profile (same ranges as the
+/// bml-core property tests).
+fn arb_profile() -> impl Strategy<Value = ArchProfile> {
+    (
+        1.0f64..200.0,   // idle
+        1.0f64..300.0,   // dynamic range above idle
+        1.0f64..2000.0,  // max_perf
+        0.0f64..300.0,   // on duration
+        0.0f64..30000.0, // on energy
+        0.0f64..60.0,    // off duration
+        0.0f64..2000.0,  // off energy
+    )
+        .prop_map(|(idle, range, mp, ont, one, offt, offe)| {
+            ArchProfile::new(
+                "p",
+                idle,
+                idle + range,
+                mp.round().max(1.0),
+                ont,
+                one,
+                offt,
+                offe,
+            )
+            .expect("constructed within valid ranges")
+        })
+}
+
+/// Strategy: a random catalog of 2-5 distinct architectures.
+fn arb_profiles() -> impl Strategy<Value = Vec<ArchProfile>> {
+    proptest::collection::vec(arb_profile(), 2..=5).prop_map(|mut v| {
+        for (i, p) in v.iter_mut().enumerate() {
+            p.name = format!("arch{i}");
+        }
+        v
+    })
 }
 
 /// Random piecewise-constant workload: a few plateaus of random level and
@@ -73,7 +112,9 @@ proptest! {
                 b.config_power(&counts, load, SplitPolicy::EfficiencyGreedy).0
             })
             .sum();
-        prop_assert!((lb.total_energy_j - manual).abs() < 1e-6);
+        // Span-batched vs per-second summation: same quantity, different
+        // float-accumulation order — compare with a relative tolerance.
+        prop_assert!((lb.total_energy_j - manual).abs() < 1e-9 * manual.abs() + 1e-6);
         // The greedy-split serving power never exceeds the combination's
         // nominal assignment power (the published Fig.-4 curve).
         let nominal: f64 = (0..trace.len()).map(|t| b.power_at(trace.get(t))).sum();
@@ -92,6 +133,45 @@ proptest! {
         if r.reconfigurations > 0 {
             prop_assert!(r.nodes_switched_on + r.nodes_switched_off >= r.reconfigurations);
         }
+    }
+
+    /// The tentpole property: the event-driven skip-ahead replay is
+    /// result-identical to the per-second reference engine — same daily
+    /// energies (to float-accumulation rounding), same QoS report, same
+    /// reconfiguration log — over arbitrary catalogs, traces, look-ahead
+    /// horizons, and both scheduler kinds.
+    #[test]
+    fn event_driven_replay_matches_per_second_engine(
+        trace in arb_trace(),
+        profiles in arb_profiles(),
+        horizon in 1u64..600,
+        aware in 0u8..2,
+        cold_start in 0u8..2,
+    ) {
+        let (aware, cold_start) = (aware == 1, cold_start == 1);
+        let infra = match BmlInfrastructure::build(&profiles) {
+            Ok(i) => i,
+            Err(_) => return Ok(()), // degenerate catalog (all dominated)
+        };
+        let scheduler = if aware {
+            SchedulerKind::TransitionAware(TransitionAwareConfig::paper())
+        } else {
+            SchedulerKind::Baseline
+        };
+        let base = SimConfig { scheduler, cold_start, ..SimConfig::default() };
+
+        let mut p = LookaheadMaxPredictor::new(&trace, horizon);
+        let per_second = simulate_bml(&trace, &infra, &mut p,
+            &SimConfig { stepping: Stepping::PerSecond, ..base.clone() });
+        let mut p = LookaheadMaxPredictor::new(&trace, horizon);
+        let event = simulate_bml(&trace, &infra, &mut p,
+            &SimConfig { stepping: Stepping::EventDriven, ..base });
+
+        // One shared definition of "result-identical" (discrete outcomes
+        // exact, energies to float-accumulation rounding) — the same
+        // checker the engine's unit tests use.
+        let verdict = per_second.check_replay_equivalent(&event, 1e-9);
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
     }
 
     #[test]

@@ -4,13 +4,15 @@
 //! ([`trace::LoadTrace`]), deterministic synthetic generators
 //! ([`synthetic`], and the World-Cup-98-like tournament workload in
 //! [`worldcup`] substituting the paper's 1998 World Cup trace), an O(n)
-//! sliding-window maximum ([`window`]) and the load predictors the
-//! pro-active scheduler consumes ([`predictor`]).
+//! sliding-window maximum ([`window`]), constant-run segment iteration
+//! for the event-driven replay engine ([`segments`]) and the load
+//! predictors the pro-active scheduler consumes ([`predictor`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod predictor;
+pub mod segments;
 pub mod synthetic;
 pub mod trace;
 pub mod wc98;
@@ -21,5 +23,6 @@ pub use predictor::{
     EwmaPredictor, LastValuePredictor, LookaheadMaxPredictor, NoisyPredictor, OraclePredictor,
     Predictor,
 };
+pub use segments::{constant_runs, Segment};
 pub use trace::{LoadTrace, SECONDS_PER_DAY};
 pub use window::LookaheadMaxTable;

@@ -23,6 +23,25 @@ pub trait Predictor {
     fn predict(&mut self, now: u64) -> f64;
     /// Short identifier for reports.
     fn name(&self) -> &'static str;
+
+    /// `true` when the prediction is a pure piecewise-constant function of
+    /// time and [`Predictor::next_change`] reports its change-points
+    /// exactly. Only such predictors can drive the event-driven replay
+    /// engine; stateful or randomized predictors (EWMA, noisy wrappers)
+    /// must be polled every second and return `false` (the default).
+    fn is_segmented(&self) -> bool {
+        false
+    }
+
+    /// For segmented predictors: the smallest `t > now` at which
+    /// `predict(t)` differs from `predict(now)`, or `None` when the
+    /// prediction holds for the rest of the trace. The default (for
+    /// non-segmented predictors) is `None`, which callers must not
+    /// interpret without checking [`Predictor::is_segmented`].
+    fn next_change(&self, now: u64) -> Option<u64> {
+        let _ = now;
+        None
+    }
 }
 
 /// The paper's emulated prediction: maximum of the *actual future* load
@@ -54,6 +73,12 @@ impl Predictor for LookaheadMaxPredictor {
     fn name(&self) -> &'static str {
         "lookahead-max"
     }
+    fn is_segmented(&self) -> bool {
+        true
+    }
+    fn next_change(&self, now: u64) -> Option<u64> {
+        self.table.next_change(now)
+    }
 }
 
 /// Perfect instantaneous knowledge: predicts exactly the current load.
@@ -79,6 +104,23 @@ impl Predictor for OraclePredictor {
     }
     fn name(&self) -> &'static str {
         "oracle"
+    }
+    fn is_segmented(&self) -> bool {
+        true
+    }
+    fn next_change(&self, now: u64) -> Option<u64> {
+        let n = self.rates.len() as u64;
+        if now >= n {
+            return None; // 0 forever past the trace
+        }
+        let end = crate::segments::run_end(&self.rates, now);
+        if end < n {
+            Some(end)
+        } else if self.rates[now as usize] != 0.0 {
+            Some(n) // drops to 0 when the trace runs out
+        } else {
+            None
+        }
     }
 }
 
@@ -212,6 +254,48 @@ mod tests {
         assert_eq!(p.predict(100), 0.0);
         assert_eq!(p.horizon(), 3);
         assert_eq!(p.name(), "lookahead-max");
+    }
+
+    #[test]
+    fn lookahead_max_change_points_are_exact() {
+        let t = trace();
+        let mut p = LookaheadMaxPredictor::new(&t, 3);
+        assert!(p.is_segmented());
+        // Walk the change-points; between them the prediction is constant.
+        let mut now = 0;
+        while let Some(next) = p.next_change(now) {
+            let v = p.predict(now);
+            for s in now..next {
+                assert_eq!(p.predict(s), v, "changed inside [{now}, {next})");
+            }
+            assert_ne!(p.predict(next), v, "no change at {next}");
+            now = next;
+        }
+        assert!(now < t.len(), "last segment extends to the end");
+    }
+
+    #[test]
+    fn oracle_change_points_follow_raw_runs() {
+        let t = LoadTrace::new(0, vec![5.0, 5.0, 2.0, 2.0, 2.0]);
+        let mut p = OraclePredictor::new(&t);
+        assert!(p.is_segmented());
+        assert_eq!(p.next_change(0), Some(2));
+        assert_eq!(p.next_change(2), Some(5)); // non-zero tail drops to 0
+        assert_eq!(p.next_change(5), None);
+        assert_eq!(p.predict(5), 0.0);
+        // A zero tail never changes again.
+        let z = LoadTrace::new(0, vec![1.0, 0.0]);
+        let pz = OraclePredictor::new(&z);
+        assert_eq!(pz.next_change(1), None);
+    }
+
+    #[test]
+    fn default_predictors_are_not_segmented() {
+        let t = trace();
+        assert!(!EwmaPredictor::new(&t, 0.5).is_segmented());
+        assert!(!LastValuePredictor::new(&t).is_segmented());
+        assert!(!NoisyPredictor::new(OraclePredictor::new(&t), 0.1, 1).is_segmented());
+        assert_eq!(EwmaPredictor::new(&t, 0.5).next_change(0), None);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Maximal constant runs of piecewise-constant series.
+//!
+//! The event-driven replay engine (`bml-sim`) exploits the fact that both
+//! the look-ahead-max prediction and the raw load are piecewise-constant
+//! in time: the scheduler's decision can only change at *prediction*
+//! change-points, while power/QoS accounting only changes at *raw-load*
+//! change-points. This module provides the shared segment machinery:
+//! [`constant_runs`] iterates the maximal runs of a series, and
+//! [`run_end`] answers "how long does the current value hold?" in O(run)
+//! — amortized O(n) over a monotone forward replay.
+
+/// One maximal run of constant value: `values[start..end]` all equal
+/// `value`, and the run cannot be extended in either direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First second of the run (inclusive).
+    pub start: u64,
+    /// One past the last second of the run (exclusive).
+    pub end: u64,
+    /// The constant value over `[start, end)`.
+    pub value: f64,
+}
+
+impl Segment {
+    /// Length of the run in seconds.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` for a degenerate empty segment (never yielded by
+    /// [`constant_runs`]).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Iterator over the maximal constant runs of a slice, in order.
+#[derive(Debug, Clone)]
+pub struct ConstantRuns<'a> {
+    values: &'a [f64],
+    pos: usize,
+}
+
+impl Iterator for ConstantRuns<'_> {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        if self.pos >= self.values.len() {
+            return None;
+        }
+        let start = self.pos;
+        let end = run_end(self.values, start as u64) as usize;
+        self.pos = end;
+        Some(Segment {
+            start: start as u64,
+            end: end as u64,
+            value: self.values[start],
+        })
+    }
+}
+
+/// Iterate the maximal constant runs of `values`.
+pub fn constant_runs(values: &[f64]) -> ConstantRuns<'_> {
+    ConstantRuns { values, pos: 0 }
+}
+
+/// End (exclusive) of the maximal constant run containing second `t`:
+/// the smallest `t' > t` with `values[t'] != values[t]`, or `values.len()`
+/// when the value holds to the end. `t` past the end returns `len`.
+///
+/// Comparison is plain `f64` equality — series fed to the replay engines
+/// are finite by construction (trace parsers reject NaN).
+#[inline]
+pub fn run_end(values: &[f64], t: u64) -> u64 {
+    let n = values.len();
+    let t = t as usize;
+    if t >= n {
+        return n as u64;
+    }
+    let v = values[t];
+    let mut e = t + 1;
+    while e < n && values[e] == v {
+        e += 1;
+    }
+    e as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_partition_the_series() {
+        let v = [1.0, 1.0, 2.0, 2.0, 2.0, 1.0, 3.0];
+        let runs: Vec<Segment> = constant_runs(&v).collect();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(
+            runs[0],
+            Segment {
+                start: 0,
+                end: 2,
+                value: 1.0
+            }
+        );
+        assert_eq!(
+            runs[1],
+            Segment {
+                start: 2,
+                end: 5,
+                value: 2.0
+            }
+        );
+        assert_eq!(
+            runs[2],
+            Segment {
+                start: 5,
+                end: 6,
+                value: 1.0
+            }
+        );
+        assert_eq!(
+            runs[3],
+            Segment {
+                start: 6,
+                end: 7,
+                value: 3.0
+            }
+        );
+        // Partition: contiguous, covering, non-empty.
+        let total: u64 = runs.iter().map(Segment::len).sum();
+        assert_eq!(total, v.len() as u64);
+        assert!(runs.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn empty_series_yields_nothing() {
+        assert_eq!(constant_runs(&[]).count(), 0);
+        assert_eq!(run_end(&[], 0), 0);
+        assert_eq!(run_end(&[], 5), 0);
+    }
+
+    #[test]
+    fn single_run() {
+        let v = [4.0; 10];
+        let runs: Vec<Segment> = constant_runs(&v).collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 10);
+    }
+
+    #[test]
+    fn run_end_within_and_past() {
+        let v = [5.0, 5.0, 5.0, 7.0];
+        assert_eq!(run_end(&v, 0), 3);
+        assert_eq!(run_end(&v, 1), 3);
+        assert_eq!(run_end(&v, 3), 4);
+        assert_eq!(run_end(&v, 4), 4);
+        assert_eq!(run_end(&v, 100), 4);
+    }
+
+    #[test]
+    fn alternating_values_are_unit_runs() {
+        let v = [1.0, 2.0, 1.0, 2.0];
+        assert!(constant_runs(&v).all(|s| s.len() == 1));
+    }
+}

@@ -42,6 +42,20 @@ impl LoadTrace {
         self.rates.get(t as usize).copied().unwrap_or(0.0)
     }
 
+    /// End (exclusive) of the maximal constant-load run containing
+    /// second `t` — the raw-load sub-segment boundary the event-driven
+    /// replay batches power/QoS accounting over. `t` past the end of the
+    /// trace returns `len()`.
+    #[inline]
+    pub fn run_end(&self, t: u64) -> u64 {
+        crate::segments::run_end(&self.rates, t)
+    }
+
+    /// Iterate the maximal runs of constant load.
+    pub fn constant_runs(&self) -> crate::segments::ConstantRuns<'_> {
+        crate::segments::constant_runs(&self.rates)
+    }
+
     /// Maximum load over the whole trace.
     pub fn max(&self) -> f64 {
         self.rates.iter().copied().fold(0.0, f64::max)

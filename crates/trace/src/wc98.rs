@@ -66,6 +66,17 @@ pub enum Wc98Error {
         /// Index of the offending record.
         at_record: usize,
     },
+    /// A timestamp jumped forward by more than the tolerated gap — in a
+    /// per-second-bucketed trace a corrupt record near `u32::MAX` would
+    /// otherwise force a multi-gigabyte counts allocation.
+    TimestampGap {
+        /// Index of the offending record.
+        at_record: usize,
+        /// Seconds skipped past the largest timestamp seen so far.
+        gap_s: u32,
+    },
+    /// The underlying reader failed.
+    Io(String),
 }
 
 impl std::fmt::Display for Wc98Error {
@@ -78,32 +89,104 @@ impl std::fmt::Display for Wc98Error {
             Wc98Error::NonMonotonic { at_record } => {
                 write!(f, "timestamps regress too far at record {at_record}")
             }
+            Wc98Error::TimestampGap { at_record, gap_s } => {
+                write!(f, "timestamp jumps {gap_s} s ahead at record {at_record}")
+            }
+            Wc98Error::Io(msg) => write!(f, "WC98 log read failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for Wc98Error {}
 
+/// Decode one whole record from the front of a [`Buf`].
+fn decode_record(buf: &mut impl Buf) -> Wc98Record {
+    debug_assert!(buf.remaining() >= RECORD_BYTES);
+    Wc98Record {
+        timestamp: buf.get_u32(),
+        client_id: buf.get_u32(),
+        object_id: buf.get_u32(),
+        size: buf.get_u32(),
+        method: buf.get_u8(),
+        status: buf.get_u8(),
+        file_type: buf.get_u8(),
+        server: buf.get_u8(),
+    }
+}
+
+/// Incremental decoder for the fixed 20-byte records: feed the log in
+/// arbitrary chunks (network reads, file blocks); whole records pop out
+/// and a record split across a chunk boundary is buffered until its
+/// remainder arrives. The streaming counterpart of [`parse_records`] —
+/// the 30 GB real logs never have to be resident in memory.
+#[derive(Debug, Clone, Default)]
+pub struct Wc98Decoder {
+    partial: [u8; RECORD_BYTES],
+    partial_len: usize,
+}
+
+impl Wc98Decoder {
+    /// Fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes of an incomplete record buffered from previous chunks.
+    pub fn pending_bytes(&self) -> usize {
+        self.partial_len
+    }
+
+    /// Decode every whole record available from the buffered remainder
+    /// plus `chunk`, appending to `out`; any trailing partial record is
+    /// buffered for the next call.
+    pub fn feed(&mut self, mut chunk: &[u8], out: &mut Vec<Wc98Record>) {
+        // Complete a record straddling the previous chunk boundary first.
+        if self.partial_len > 0 {
+            let need = RECORD_BYTES - self.partial_len;
+            let take = need.min(chunk.len());
+            self.partial[self.partial_len..self.partial_len + take].copy_from_slice(&chunk[..take]);
+            self.partial_len += take;
+            chunk = &chunk[take..];
+            if self.partial_len < RECORD_BYTES {
+                return; // chunk exhausted mid-record
+            }
+            let mut head: &[u8] = &self.partial;
+            out.push(decode_record(&mut head));
+            self.partial_len = 0;
+        }
+        out.reserve(chunk.len() / RECORD_BYTES);
+        while chunk.remaining() >= RECORD_BYTES {
+            out.push(decode_record(&mut chunk));
+        }
+        if !chunk.is_empty() {
+            self.partial[..chunk.len()].copy_from_slice(chunk);
+            self.partial_len = chunk.len();
+        }
+    }
+
+    /// Declare the log complete: errors if a partial record is buffered.
+    pub fn finish(self) -> Result<(), Wc98Error> {
+        if self.partial_len > 0 {
+            Err(Wc98Error::TruncatedRecord {
+                trailing_bytes: self.partial_len,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
 /// Decode every record of a binary log slice.
-pub fn parse_records(mut data: &[u8]) -> Result<Vec<Wc98Record>, Wc98Error> {
+pub fn parse_records(data: &[u8]) -> Result<Vec<Wc98Record>, Wc98Error> {
     if !data.len().is_multiple_of(RECORD_BYTES) {
         return Err(Wc98Error::TruncatedRecord {
             trailing_bytes: data.len() % RECORD_BYTES,
         });
     }
     let mut out = Vec::with_capacity(data.len() / RECORD_BYTES);
-    while data.remaining() >= RECORD_BYTES {
-        out.push(Wc98Record {
-            timestamp: data.get_u32(),
-            client_id: data.get_u32(),
-            object_id: data.get_u32(),
-            size: data.get_u32(),
-            method: data.get_u8(),
-            status: data.get_u8(),
-            file_type: data.get_u8(),
-            server: data.get_u8(),
-        });
-    }
+    let mut decoder = Wc98Decoder::new();
+    decoder.feed(data, &mut out);
+    decoder.finish()?;
     Ok(out)
 }
 
@@ -136,6 +219,12 @@ pub struct Wc98Options {
     /// this value (the paper's metric is requests/s of *its* CGI workload,
     /// not raw WC98 hits/s, so experiments rescale the shape).
     pub rescale_peak_to: Option<f64>,
+    /// Largest tolerated forward jump between consecutive timestamps (s).
+    /// The trace buckets one `f64` per second, so a single corrupt record
+    /// with a timestamp near `u32::MAX` would otherwise force a
+    /// multi-gigabyte allocation; a week-long hole (the default) already
+    /// means the log is not the near-continuous WC98 distribution.
+    pub max_gap_s: u32,
 }
 
 impl Default for Wc98Options {
@@ -144,7 +233,100 @@ impl Default for Wc98Options {
             first_day: 6,
             reorder_tolerance_s: 2,
             rescale_peak_to: Some(5_200.0),
+            max_gap_s: 7 * 86_400,
         }
+    }
+}
+
+/// Streaming record-to-trace bucketer: feed binary chunks (or decoded
+/// records), read the finished [`LoadTrace`] at the end. Holds only the
+/// per-second counts — O(trace seconds), not O(log bytes) — so an
+/// arbitrarily large log streams through in constant extra memory.
+#[derive(Debug, Clone)]
+pub struct Wc98TraceBuilder {
+    options: Wc98Options,
+    decoder: Wc98Decoder,
+    /// Reused scratch for the records decoded from one chunk.
+    batch: Vec<Wc98Record>,
+    records_seen: usize,
+    start: Option<u32>,
+    max_seen: u32,
+    counts: Vec<f64>,
+}
+
+impl Wc98TraceBuilder {
+    /// Fresh builder with the given conversion options.
+    pub fn new(options: Wc98Options) -> Self {
+        Wc98TraceBuilder {
+            options,
+            decoder: Wc98Decoder::new(),
+            batch: Vec::new(),
+            records_seen: 0,
+            start: None,
+            max_seen: 0,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Feed one binary chunk of the log; records may split across chunk
+    /// boundaries arbitrarily.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), Wc98Error> {
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        self.decoder.feed(chunk, &mut batch);
+        let result = batch.iter().try_for_each(|r| self.push(r));
+        self.batch = batch;
+        result
+    }
+
+    /// Bucket one decoded record.
+    fn push(&mut self, r: &Wc98Record) -> Result<(), Wc98Error> {
+        let first = self.start.is_none();
+        let start = *self.start.get_or_insert(r.timestamp);
+        if r.timestamp.saturating_add(self.options.reorder_tolerance_s) < self.max_seen {
+            return Err(Wc98Error::NonMonotonic {
+                at_record: self.records_seen,
+            });
+        }
+        if !first && r.timestamp > self.max_seen.saturating_add(self.options.max_gap_s) {
+            return Err(Wc98Error::TimestampGap {
+                at_record: self.records_seen,
+                gap_s: r.timestamp - self.max_seen,
+            });
+        }
+        self.max_seen = self.max_seen.max(r.timestamp);
+        let idx = r.timestamp.saturating_sub(start) as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0.0);
+        }
+        self.counts[idx] += 1.0;
+        self.records_seen += 1;
+        Ok(())
+    }
+
+    /// Records bucketed so far.
+    pub fn records_seen(&self) -> usize {
+        self.records_seen
+    }
+
+    /// Finish the stream: rejects a trailing partial record or an empty
+    /// log, applies the peak rescaling, and returns the trace.
+    pub fn finish(self) -> Result<LoadTrace, Wc98Error> {
+        self.decoder.finish()?;
+        if self.records_seen == 0 {
+            return Err(Wc98Error::Empty);
+        }
+        let mut counts = self.counts;
+        if let Some(target) = self.options.rescale_peak_to {
+            let peak = counts.iter().copied().fold(0.0, f64::max);
+            if peak > 0.0 {
+                let factor = target / peak;
+                for c in &mut counts {
+                    *c = (*c * factor).round();
+                }
+            }
+        }
+        Ok(LoadTrace::new(self.options.first_day, counts))
     }
 }
 
@@ -156,38 +338,35 @@ pub fn records_to_trace(
     records: &[Wc98Record],
     options: &Wc98Options,
 ) -> Result<LoadTrace, Wc98Error> {
-    if records.is_empty() {
-        return Err(Wc98Error::Empty);
-    }
-    let start = records[0].timestamp;
-    let mut max_seen = start;
-    for (i, r) in records.iter().enumerate() {
-        if r.timestamp + options.reorder_tolerance_s < max_seen {
-            return Err(Wc98Error::NonMonotonic { at_record: i });
-        }
-        max_seen = max_seen.max(r.timestamp);
-    }
-    let len = (max_seen - start + 1) as usize;
-    let mut counts = vec![0.0f64; len];
-    for r in records {
-        let idx = r.timestamp.saturating_sub(start) as usize;
-        counts[idx] += 1.0;
-    }
-    if let Some(target) = options.rescale_peak_to {
-        let peak = counts.iter().copied().fold(0.0, f64::max);
-        if peak > 0.0 {
-            let factor = target / peak;
-            for c in &mut counts {
-                *c = (*c * factor).round();
-            }
-        }
-    }
-    Ok(LoadTrace::new(options.first_day, counts))
+    let mut builder = Wc98TraceBuilder::new(options.clone());
+    records.iter().try_for_each(|r| builder.push(r))?;
+    builder.finish()
 }
 
 /// Parse a whole binary log into a trace in one call.
 pub fn parse_trace(data: &[u8], options: &Wc98Options) -> Result<LoadTrace, Wc98Error> {
     records_to_trace(&parse_records(data)?, options)
+}
+
+/// Parse a binary log from any [`std::io::Read`] source in fixed-size
+/// chunks — the whole log is never resident in memory, only the decoded
+/// per-second counts. This is how the real ~30 GB WC98 distribution is
+/// meant to be ingested.
+pub fn parse_trace_from_reader<R: std::io::Read>(
+    mut reader: R,
+    options: &Wc98Options,
+) -> Result<LoadTrace, Wc98Error> {
+    let mut builder = Wc98TraceBuilder::new(options.clone());
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => builder.feed(&buf[..n])?,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Wc98Error::Io(e.to_string())),
+        }
+    }
+    builder.finish()
 }
 
 #[cfg(test)]
@@ -293,6 +472,7 @@ mod tests {
                 rescale_peak_to: None,
                 first_day: 6,
                 reorder_tolerance_s: 2,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -304,6 +484,138 @@ mod tests {
     }
 
     #[test]
+    fn decoder_handles_records_split_across_chunks() {
+        let records: Vec<Wc98Record> = (0..7).map(|i| record(1_000 + i)).collect();
+        let bytes = encode_records(&records);
+        // Feed in every chunk size from 1 byte (worst case: each record
+        // split across 20 chunks) to larger-than-record chunks.
+        for chunk_size in [1usize, 3, 7, 19, 20, 21, 33, 64] {
+            let mut decoder = Wc98Decoder::new();
+            let mut out = Vec::new();
+            for chunk in bytes.chunks(chunk_size) {
+                decoder.feed(chunk, &mut out);
+            }
+            assert_eq!(decoder.pending_bytes(), 0);
+            decoder.finish().unwrap();
+            assert_eq!(out, records, "chunk_size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn decoder_finish_rejects_partial_record() {
+        let bytes = encode_records(&[record(5)]);
+        let mut decoder = Wc98Decoder::new();
+        let mut out = Vec::new();
+        decoder.feed(&bytes[..13], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(decoder.pending_bytes(), 13);
+        assert_eq!(
+            decoder.finish().unwrap_err(),
+            Wc98Error::TruncatedRecord { trailing_bytes: 13 }
+        );
+    }
+
+    #[test]
+    fn streaming_builder_matches_batch_conversion() {
+        let mut records = Vec::new();
+        for _ in 0..10 {
+            records.push(record(500));
+        }
+        records.push(record(499)); // tolerated reordering
+        for _ in 0..5 {
+            records.push(record(505));
+        }
+        let bytes = encode_records(&records);
+        let batch = parse_trace(&bytes, &Wc98Options::default()).unwrap();
+        let mut builder = Wc98TraceBuilder::new(Wc98Options::default());
+        for chunk in bytes.chunks(7) {
+            builder.feed(chunk).unwrap();
+        }
+        assert_eq!(builder.records_seen(), records.len());
+        assert_eq!(builder.finish().unwrap(), batch);
+    }
+
+    #[test]
+    fn streaming_builder_rejects_bad_streams() {
+        // Non-monotonic stream fails mid-feed with the global record index.
+        let bytes = encode_records(&[record(100), record(10)]);
+        let mut builder = Wc98TraceBuilder::new(Wc98Options::default());
+        assert_eq!(
+            builder.feed(&bytes).unwrap_err(),
+            Wc98Error::NonMonotonic { at_record: 1 }
+        );
+        // Empty stream.
+        assert_eq!(
+            Wc98TraceBuilder::new(Wc98Options::default())
+                .finish()
+                .unwrap_err(),
+            Wc98Error::Empty
+        );
+        // Trailing partial record.
+        let mut builder = Wc98TraceBuilder::new(Wc98Options::default());
+        builder.feed(&encode_records(&[record(1)])[..7]).unwrap();
+        assert_eq!(
+            builder.finish().unwrap_err(),
+            Wc98Error::TruncatedRecord { trailing_bytes: 7 }
+        );
+    }
+
+    #[test]
+    fn forward_timestamp_jump_is_rejected_not_allocated() {
+        // A corrupt record with a timestamp near u32::MAX must fail fast
+        // instead of resizing the per-second counts to gigabytes.
+        let bytes = encode_records(&[record(894_000_000), record(u32::MAX)]);
+        let mut builder = Wc98TraceBuilder::new(Wc98Options::default());
+        match builder.feed(&bytes) {
+            Err(Wc98Error::TimestampGap {
+                at_record: 1,
+                gap_s,
+            }) => {
+                assert_eq!(gap_s, u32::MAX - 894_000_000);
+            }
+            other => panic!("expected TimestampGap, got {other:?}"),
+        }
+        // A gap inside the tolerance passes; one just past it fails.
+        let gap = Wc98Options::default().max_gap_s;
+        let ok = encode_records(&[record(1_000), record(1_000 + gap)]);
+        assert!(Wc98TraceBuilder::new(Wc98Options::default())
+            .feed(&ok)
+            .is_ok());
+        let bad = encode_records(&[record(1_000), record(1_000 + gap + 1)]);
+        assert!(matches!(
+            Wc98TraceBuilder::new(Wc98Options::default()).feed(&bad),
+            Err(Wc98Error::TimestampGap { .. })
+        ));
+    }
+
+    #[test]
+    fn reader_streaming_end_to_end() {
+        let records = vec![record(0), record(0), record(1)];
+        let bytes = encode_records(&records);
+        let from_reader = parse_trace_from_reader(
+            bytes.as_slice(),
+            &Wc98Options {
+                rescale_peak_to: None,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(from_reader.rates, vec![2.0, 1.0]);
+
+        // A reader that errors surfaces as Wc98Error::Io.
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        match parse_trace_from_reader(FailingReader, &Wc98Options::default()) {
+            Err(Wc98Error::Io(msg)) => assert!(msg.contains("disk on fire")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn error_messages() {
         assert!(Wc98Error::Empty.to_string().contains("empty"));
         assert!(Wc98Error::TruncatedRecord { trailing_bytes: 3 }
@@ -312,5 +624,11 @@ mod tests {
         assert!(Wc98Error::NonMonotonic { at_record: 9 }
             .to_string()
             .contains('9'));
+        assert!(Wc98Error::TimestampGap {
+            at_record: 4,
+            gap_s: 777
+        }
+        .to_string()
+        .contains("777"));
     }
 }

@@ -63,6 +63,24 @@ impl LookaheadMaxTable {
         self.maxima.get(t as usize).copied().unwrap_or(0.0)
     }
 
+    /// Next change-point of the prediction after `t`: the smallest
+    /// `t' > t` with `max_from(t') != max_from(t)`, or `None` when the
+    /// value holds for the rest of the table. O(run length), amortized
+    /// O(n) over a monotone forward replay.
+    pub fn next_change(&self, t: u64) -> Option<u64> {
+        if t as usize >= self.maxima.len() {
+            return None;
+        }
+        let end = crate::segments::run_end(&self.maxima, t);
+        ((end as usize) < self.maxima.len()).then_some(end)
+    }
+
+    /// Iterate the maximal runs of constant predicted load — the
+    /// decision-relevant segments of the event-driven replay engine.
+    pub fn segments(&self) -> crate::segments::ConstantRuns<'_> {
+        crate::segments::constant_runs(&self.maxima)
+    }
+
     /// Number of positions covered.
     pub fn len(&self) -> usize {
         self.maxima.len()
@@ -146,6 +164,34 @@ mod tests {
         for t in 0..100u64 {
             assert_eq!(table.max_from(t), rates[t as usize]);
         }
+    }
+
+    #[test]
+    fn segments_partition_and_next_change_agrees() {
+        let rates = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let table = LookaheadMaxTable::new(&rates, 3);
+        let segs: Vec<_> = table.segments().collect();
+        // Segments partition [0, n) and carry the window-max values.
+        assert_eq!(segs.first().unwrap().start, 0);
+        assert_eq!(segs.last().unwrap().end, rates.len() as u64);
+        for s in &segs {
+            for t in s.start..s.end {
+                assert_eq!(table.max_from(t), s.value);
+            }
+        }
+        // next_change hops exactly along segment boundaries.
+        let mut t = 0;
+        for s in &segs {
+            assert_eq!(s.start, t);
+            match table.next_change(t) {
+                Some(next) => {
+                    assert_eq!(next, s.end);
+                    t = next;
+                }
+                None => assert_eq!(s.end, rates.len() as u64),
+            }
+        }
+        assert_eq!(table.next_change(100), None);
     }
 
     #[test]
