@@ -1,0 +1,88 @@
+//! Property-based tests for the application layer: the load balancer's
+//! conservation and capacity invariants under random fleets, loads and
+//! policies.
+
+use bml_app::loadbalancer::{balance, BalancePolicy};
+use bml_app::webserver::Fleet;
+use proptest::prelude::*;
+
+const POLICIES: [BalancePolicy; 3] = [
+    BalancePolicy::ProportionalToCapacity,
+    BalancePolicy::FillBiggestFirst,
+    BalancePolicy::EqualShare,
+];
+
+/// Strategy: a random fleet of 1-4 architecture tiers, each with a
+/// random per-instance capacity and 0-4 instances (possibly an entirely
+/// empty fleet).
+fn arb_fleet() -> impl Strategy<Value = Fleet> {
+    proptest::collection::vec((0u32..=4, 0.5f64..2000.0), 1..=4).prop_map(|tiers| {
+        let (counts, capacities): (Vec<u32>, Vec<f64>) = tiers.into_iter().unzip();
+        Fleet::from_configuration(&counts, &capacities)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conservation: under every policy, every request is either served
+    /// or dropped — `served + dropped == offered` to 1e-9 relative.
+    #[test]
+    fn served_plus_dropped_is_offered(fleet in arb_fleet(), load in 0.0f64..20_000.0) {
+        for policy in POLICIES {
+            let mut f = fleet.clone();
+            let out = balance(&mut f, load, policy);
+            let accounted = out.served + out.dropped;
+            prop_assert!(
+                (accounted - load).abs() <= 1e-9 * load.abs().max(accounted.abs()),
+                "{policy:?}: served {} + dropped {} != offered {load}",
+                out.served,
+                out.dropped
+            );
+            prop_assert!(out.served >= 0.0 && out.dropped >= 0.0, "{policy:?}");
+        }
+    }
+
+    /// Capacity: no policy ever assigns an instance more than its
+    /// capacity, and the assignments sum to exactly what was served.
+    #[test]
+    fn no_assignment_exceeds_capacity(fleet in arb_fleet(), load in 0.0f64..20_000.0) {
+        for policy in POLICIES {
+            let mut f = fleet.clone();
+            let out = balance(&mut f, load, policy);
+            prop_assert_eq!(out.assignments.len(), f.instances.len());
+            for (a, i) in out.assignments.iter().zip(&f.instances) {
+                prop_assert!(
+                    *a <= i.capacity_rps + 1e-9,
+                    "{:?}: assignment {} over capacity {}",
+                    policy,
+                    a,
+                    i.capacity_rps
+                );
+                prop_assert!(*a >= 0.0, "{:?}: negative assignment {}", policy, a);
+            }
+            let total: f64 = out.assignments.iter().sum();
+            prop_assert!(
+                (total - out.served).abs() <= 1e-9 * out.served.max(1.0),
+                "{policy:?}: assignments sum {total} != served {}",
+                out.served
+            );
+        }
+    }
+
+    /// The three policies differ in *placement*, never in *volume*: for
+    /// one fleet and load they serve the same total.
+    #[test]
+    fn policies_serve_identical_totals(fleet in arb_fleet(), load in 0.0f64..20_000.0) {
+        let served: Vec<f64> = POLICIES
+            .iter()
+            .map(|&p| balance(&mut fleet.clone(), load, p).served)
+            .collect();
+        for s in &served[1..] {
+            prop_assert!(
+                (s - served[0]).abs() <= 1e-9 * served[0].max(1.0),
+                "policies served different totals: {served:?}"
+            );
+        }
+    }
+}

@@ -32,21 +32,19 @@ fn scaled(profiles: &[ArchProfile], factor: f64) -> Vec<ArchProfile> {
 }
 
 fn main() {
-    let mut args = Args::parse();
-    if args.days == 87 {
-        args.days = 7;
-    }
+    let args = Args::parse();
+    let days = args.days_or(7); // the sweep repeats the simulation; default smaller
     let trace = generate(&WorldCupParams {
         seed: args.seed,
-        n_days: args.days,
+        n_days: days,
         tournament_start: 8,
-        final_day: 6 + args.days.saturating_sub(2),
+        final_day: 6 + days.saturating_sub(2),
         ..Default::default()
     });
 
     println!(
         "On/Off overhead ablation ({} days, seed {}):\n",
-        args.days, args.seed
+        days, args.seed
     );
     let mut t = Table::new(&[
         "cost factor",
@@ -62,7 +60,7 @@ fn main() {
         let window = bml_core::scheduler::paper_window_length(bml.candidates()).max(1);
         let config = SimConfig {
             window: Some(window),
-            stepping: args.stepping,
+            stepping: args.stepping_or_default(),
             ..Default::default()
         };
         let r = scenarios::bml_proactive(&trace, &bml, &config);

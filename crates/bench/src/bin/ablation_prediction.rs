@@ -5,8 +5,13 @@
 //! reports how energy, reconfiguration churn and QoS degrade with the
 //! error magnitude.
 //!
+//! The sweep is a 1-D slice of the `bml-grid` experiment space (the
+//! `noise_sigmas` dimension); it routes through the same shared cell
+//! executor as the `grid` binary and honors `--threads`.
+//!
 //! ```text
-//! cargo run --release -p bml-bench --bin ablation_prediction [--days N] [--seed N] [--csv]
+//! cargo run --release -p bml-bench --bin ablation_prediction \
+//!     [--days N] [--seed N] [--threads N] [--csv]
 //! ```
 
 use bml_bench::Args;
@@ -17,15 +22,13 @@ use bml_sim::{runner::sweep_prediction_noise, SimConfig};
 use bml_trace::worldcup::{generate, WorldCupParams};
 
 fn main() {
-    let mut args = Args::parse();
-    if args.days == 87 {
-        args.days = 7;
-    }
+    let args = Args::parse();
+    let days = args.days_or(7); // the sweep repeats the simulation; default smaller
     let trace = generate(&WorldCupParams {
         seed: args.seed,
-        n_days: args.days,
+        n_days: days,
         tournament_start: 8,
-        final_day: 6 + args.days.saturating_sub(2),
+        final_day: 6 + days.saturating_sub(2),
         ..Default::default()
     });
     let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
@@ -33,20 +36,22 @@ fn main() {
     eprintln!(
         "sweeping {} noise levels over {} days...",
         sigmas.len(),
-        args.days
+        days
     );
     // Noisy (sigma > 0) runs force the per-second reference loop — their
     // per-call RNG cannot be segmented; the sigma=0 baseline runs the
     // clean predictor and honors this stepping choice.
     let config = SimConfig {
-        stepping: args.stepping,
+        stepping: args.stepping_or_default(),
         ..Default::default()
     };
-    let results = sweep_prediction_noise(&trace, &bml, &sigmas, args.seed, &config);
+    let results = args
+        .pool()
+        .install(|| sweep_prediction_noise(&trace, &bml, &sigmas, args.seed, &config));
 
     println!(
         "Prediction-error ablation ({} days, seed {}):\n",
-        args.days, args.seed
+        days, args.seed
     );
     let mut t = Table::new(&[
         "sigma",

@@ -2,8 +2,12 @@
 //! transition-aware scheduler (paper Sec. VI) on the World-Cup-like
 //! trace: energy, churn and QoS side by side.
 //!
+//! The sweep is a 1-D slice of the `bml-grid` experiment space (the
+//! `schedulers` dimension); it routes through the same shared cell
+//! executor as the `grid` binary and honors `--threads`.
+//!
 //! ```text
-//! cargo run --release -p bml-bench --bin ablation_scheduler [--days N] [--csv]
+//! cargo run --release -p bml-bench --bin ablation_scheduler [--days N] [--threads N] [--csv]
 //! ```
 
 use bml_bench::Args;
@@ -14,28 +18,25 @@ use bml_sim::{runner::sweep_scheduler, SimConfig};
 use bml_trace::worldcup::{generate, WorldCupParams};
 
 fn main() {
-    let mut args = Args::parse();
-    if args.days == 87 {
-        args.days = 7;
-    }
+    let args = Args::parse();
+    let days = args.days_or(7); // the sweep repeats the simulation; default smaller
     let trace = generate(&WorldCupParams {
         seed: args.seed,
-        n_days: args.days,
+        n_days: days,
         tournament_start: 8,
-        final_day: 6 + args.days.saturating_sub(2),
+        final_day: 6 + days.saturating_sub(2),
         ..Default::default()
     });
     let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
     let config = SimConfig {
-        stepping: args.stepping,
+        stepping: args.stepping_or_default(),
         ..Default::default()
     };
-    let results = sweep_scheduler(&trace, &bml, &config);
+    let results = args
+        .pool()
+        .install(|| sweep_scheduler(&trace, &bml, &config));
 
-    println!(
-        "Scheduler ablation ({} days, seed {}):\n",
-        args.days, args.seed
-    );
+    println!("Scheduler ablation ({} days, seed {}):\n", days, args.seed);
     let mut t = Table::new(&[
         "scheduler",
         "energy (kWh)",

@@ -4,8 +4,12 @@
 //! shows the trade-off: short windows react later (QoS risk, more
 //! reconfigurations), long windows over-provision (energy).
 //!
+//! The sweep is a 1-D slice of the `bml-grid` experiment space (the
+//! `windows` dimension); it routes through the same shared cell executor
+//! as the `grid` binary and honors `--threads`.
+//!
 //! ```text
-//! cargo run --release -p bml-bench --bin ablation_window [--days N] [--csv]
+//! cargo run --release -p bml-bench --bin ablation_window [--days N] [--threads N] [--csv]
 //! ```
 
 use bml_bench::Args;
@@ -16,33 +20,29 @@ use bml_sim::{runner::sweep_window, SimConfig};
 use bml_trace::worldcup::{generate, WorldCupParams};
 
 fn main() {
-    let mut args = Args::parse();
-    if args.days == 87 {
-        args.days = 7; // the sweep repeats the simulation; default smaller
-    }
+    let args = Args::parse();
+    let days = args.days_or(7); // the sweep repeats the simulation; default smaller
     let trace = generate(&WorldCupParams {
         seed: args.seed,
-        n_days: args.days,
+        n_days: days,
         tournament_start: 8, // pull the tournament into the short span
-        final_day: 6 + args.days.saturating_sub(2),
+        final_day: 6 + days.saturating_sub(2),
         ..Default::default()
     });
     let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
     let windows = [60u64, 189, 378, 756, 1800, 3600];
-    eprintln!(
-        "sweeping {} windows over {} days...",
-        windows.len(),
-        args.days
-    );
+    eprintln!("sweeping {} windows over {} days...", windows.len(), days);
     let config = SimConfig {
-        stepping: args.stepping,
+        stepping: args.stepping_or_default(),
         ..Default::default()
     };
-    let results = sweep_window(&trace, &bml, &windows, &config);
+    let results = args
+        .pool()
+        .install(|| sweep_window(&trace, &bml, &windows, &config));
 
     println!(
         "Window-length ablation ({} days, seed {}):\n",
-        args.days, args.seed
+        days, args.seed
     );
     let mut t = Table::new(&[
         "window (s)",

@@ -25,26 +25,27 @@ use bml_trace::worldcup::{generate, WorldCupParams};
 
 fn main() {
     let args = Args::parse();
+    let days = args.days_or(87); // the paper's full span
     let params = WorldCupParams {
         seed: args.seed,
-        n_days: args.days,
+        n_days: days,
         ..Default::default()
     };
     let trace = generate(&params);
     let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
     let config = SimConfig {
         window: args.window,
-        stepping: args.stepping,
+        stepping: args.stepping_or_default(),
         ..Default::default()
     };
-    let stepping_name = match args.stepping {
+    let stepping_name = match args.stepping_or_default() {
         bml_sim::Stepping::PerSecond => "per-second",
         bml_sim::Stepping::EventDriven => "event-driven",
     };
 
     eprintln!(
         "simulating {} days ({} seconds) x 4 scenarios ({stepping_name} stepping)...",
-        args.days,
+        days,
         trace.len()
     );
     let started = std::time::Instant::now();
@@ -62,7 +63,7 @@ fn main() {
     println!(
         "Fig. 5 — energy per day (kWh), days {}..={}:\n",
         c.first_day,
-        c.first_day + args.days - 1
+        c.first_day + days - 1
     );
     let mut t = Table::new(&[
         "day",
@@ -90,7 +91,7 @@ fn main() {
         print!("{}", t.render());
     }
 
-    println!("\nTotals over {} days:", args.days);
+    println!("\nTotals over {} days:", days);
     for s in c.scenarios() {
         println!(
             "  {:<22} {:>9.1} kWh  (mean {:>7.1} W, QoS shortfall {:.4}%, {} reconfigs, {} boots)",
@@ -133,7 +134,7 @@ fn main() {
         let summary = json::Object::new()
             .str("experiment", "fig5_bounds")
             .int("seed", args.seed)
-            .int("days", u64::from(args.days))
+            .int("days", u64::from(days))
             .str("stepping", stepping_name)
             .num("wall_s", wall_s)
             .int("sim_seconds", sim_seconds)

@@ -1,0 +1,158 @@
+//! Multi-dimensional scenario grid over the BML simulator.
+//!
+//! Enumerates the smoke grid — catalog mixes x schedulers x windows x
+//! prediction noise x split policies x both stepping modes on a
+//! World-Cup-like tournament trace — executes every cell rayon-parallel
+//! with deterministic per-cell seeds, and writes the versioned
+//! `BENCH_grid.json` + `BENCH_grid.csv` artifacts. For a fixed seed the
+//! artifacts are byte-identical at any `--threads` setting.
+//!
+//! ```text
+//! cargo run --release -p bml-bench --bin grid -- \
+//!     [--days N] [--seed N] [--threads N] [--out-dir PATH] [--csv] \
+//!     [--stepping event|per-second]
+//! ```
+//!
+//! Without `--stepping` the grid sweeps *both* modes as a dimension (CI
+//! diffs the twins); with it, only the requested mode runs.
+
+use std::path::Path;
+
+use bml_bench::Args;
+use bml_core::combination::SplitPolicy;
+use bml_grid::spec::{CatalogSpec, GridSpec, SchedulerDim, TraceSpec};
+use bml_grid::{pareto_frontier, per_dimension_bests, run_grid, write_artifacts};
+use bml_metrics::{joules_to_kwh, Table};
+use bml_sim::Stepping;
+
+/// The default smoke grid: 144 cells (3 catalogs x 2 schedulers x
+/// 3 windows x 2 sigmas x 2 splits x 2 steppings) on one tournament
+/// trace. Both stepping modes are included by default on purpose — CI
+/// diffs event-driven cells against their per-second twins; an explicit
+/// `--stepping` restricts the dimension to that one mode (72 cells).
+fn smoke_spec(days: u32, seed: u64, steppings: Vec<Stepping>) -> GridSpec {
+    GridSpec {
+        name: format!("smoke-{days}d"),
+        root_seed: seed,
+        traces: vec![TraceSpec {
+            source: "worldcup-tournament".into(),
+            days,
+            seed,
+        }],
+        catalogs: vec![
+            CatalogSpec::table1(),
+            CatalogSpec::big_medium(),
+            CatalogSpec::big_little(),
+        ],
+        schedulers: vec![SchedulerDim::Baseline, SchedulerDim::TransitionAware],
+        windows: vec![None, Some(189), Some(756)],
+        noise_sigmas: vec![0.0, 0.2],
+        splits: vec![
+            SplitPolicy::EfficiencyGreedy,
+            SplitPolicy::ProportionalToCapacity,
+        ],
+        steppings,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let days = args.days_or(3); // the grid multiplies the trace 144-fold; default small
+    let steppings = match args.stepping {
+        None => vec![Stepping::EventDriven, Stepping::PerSecond],
+        Some(s) => vec![s],
+    };
+    let spec = smoke_spec(days, args.seed, steppings);
+    eprintln!(
+        "grid '{}': {} cells x {} days, {} threads...",
+        spec.name,
+        spec.n_cells(),
+        days,
+        args.threads
+            .map_or_else(|| "default".to_string(), |n| n.to_string()),
+    );
+    let started = std::time::Instant::now();
+    let out = run_grid(&spec, args.threads).unwrap_or_else(|e| {
+        eprintln!("grid spec invalid: {e}");
+        std::process::exit(2)
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let sim_seconds = out.cells.len() as u64 * u64::from(days) * 86_400;
+    eprintln!(
+        "ran {} cells ({} simulated seconds) in {wall_s:.2} s \
+         ({:.1} cells/s, {:.0} simulated-s/wallclock-s)",
+        out.cells.len(),
+        sim_seconds,
+        out.cells.len() as f64 / wall_s,
+        sim_seconds as f64 / wall_s,
+    );
+
+    println!(
+        "Grid '{}' — best cell per dimension value (root seed {}):\n",
+        spec.name, spec.root_seed
+    );
+    let mut t = Table::new(&[
+        "dimension",
+        "value",
+        "best cell",
+        "energy (kWh)",
+        "QoS shortfall (%)",
+    ]);
+    for b in per_dimension_bests(&out) {
+        t.row(&[
+            b.dimension,
+            b.value,
+            format!("{}", b.cell),
+            format!("{:.2}", joules_to_kwh(b.total_energy_j)),
+            format!("{:.4}", 100.0 * b.qos_shortfall),
+        ]);
+    }
+    if args.csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+
+    let frontier = pareto_frontier(&out);
+    println!(
+        "\nEnergy-vs-QoS Pareto frontier: {} of {} cells:\n",
+        frontier.len(),
+        out.cells.len()
+    );
+    let mut p = Table::new(&[
+        "cell",
+        "catalog",
+        "scheduler",
+        "window",
+        "sigma",
+        "split",
+        "energy (kWh)",
+        "QoS shortfall (%)",
+    ]);
+    for &i in &frontier {
+        let c = &out.cells[i];
+        p.row(&[
+            format!("{i}"),
+            c.labels[1].clone(),
+            c.labels[2].clone(),
+            c.labels[3].clone(),
+            c.labels[4].clone(),
+            c.labels[5].clone(),
+            format!("{:.2}", joules_to_kwh(c.summary.total_energy_j)),
+            format!("{:.4}", 100.0 * c.summary.qos_shortfall),
+        ]);
+    }
+    if args.csv {
+        print!("{}", p.to_csv());
+    } else {
+        print!("{}", p.render());
+    }
+
+    match write_artifacts(&out, Path::new(&args.out_dir)) {
+        Ok((json, csv)) => eprintln!("wrote {} and {}", json.display(), csv.display()),
+        Err(e) => {
+            eprintln!("failed to write artifacts under {}: {e}", args.out_dir);
+            std::process::exit(1)
+        }
+    }
+}

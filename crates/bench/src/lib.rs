@@ -1,22 +1,36 @@
 //! # bml-bench — experiment binaries and Criterion benches
 //!
 //! One binary per paper table/figure (see DESIGN.md's per-experiment
-//! index) plus ablation studies. This library hosts the tiny shared CLI
-//! helper the binaries use.
+//! index) plus ablation studies and the multi-dimensional `grid` runner.
+//! This library hosts the tiny shared CLI helper the binaries use.
 
 #![warn(missing_docs)]
+
+/// Ordered-JSON emission for the `BENCH_*.json` artifacts, re-exported
+/// from `bml-grid` (where the grid artifact writer lives) so every bench
+/// binary renders machine-readable summaries the same way.
+pub use bml_grid::json;
+
+/// The usage line printed by `--help` and on any parse error.
+pub const USAGE: &str = "usage: [--seed N] [--days N] [--window S] [--noise SIGMA] [--csv] \
+     [--json PATH] [--threads N] [--out-dir PATH] [--stepping event|per-second]";
 
 /// Common command-line options of the experiment binaries.
 ///
 /// Flags: `--seed N`, `--days N`, `--window S`, `--csv`, `--noise SIGMA`,
-/// `--json PATH`, `--stepping event|per-second`. Unknown flags abort with
-/// a usage message.
+/// `--json PATH`, `--threads N`, `--out-dir PATH`,
+/// `--stepping event|per-second`. Unknown flags abort with a usage
+/// message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Args {
     /// RNG seed (default 1998, the shipped experiment seed).
     pub seed: u64,
-    /// Number of trace days to simulate (default 87, the paper's span).
-    pub days: u32,
+    /// Number of trace days to simulate; `None` when `--days` was not
+    /// given, so each binary applies its own default (the paper's 87 for
+    /// the figure replays, smaller for the repeated sweeps) without
+    /// mistaking an explicit request for the default. Read through
+    /// [`Args::days_or`].
+    pub days: Option<u32>,
     /// Look-ahead window override (seconds); `None` = the paper's 378 s.
     pub window: Option<u64>,
     /// Emit CSV instead of aligned text tables.
@@ -26,21 +40,32 @@ pub struct Args {
     /// Also write a machine-readable summary (the `BENCH_*.json` perf
     /// trajectory CI uploads) to this path.
     pub json: Option<String>,
-    /// Engine stepping mode for the simulation binaries: event-driven
-    /// skip-ahead (default) or the per-second reference loop.
-    pub stepping: bml_sim::Stepping,
+    /// Worker-thread cap for the parallel sweeps and grids; `None` =
+    /// rayon's default. Thread count never changes results, only
+    /// wall-clock time.
+    pub threads: Option<usize>,
+    /// Directory artifact-writing binaries (`grid`) emit into
+    /// (default `.`).
+    pub out_dir: String,
+    /// Engine stepping mode for the simulation binaries; `None` when
+    /// `--stepping` was not given (single-run binaries default to
+    /// event-driven via [`Args::stepping_or_default`]; the `grid` binary
+    /// sweeps both modes unless one is requested explicitly).
+    pub stepping: Option<bml_sim::Stepping>,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Args {
             seed: 1998,
-            days: 87,
+            days: None,
             window: None,
             csv: false,
             noise: 0.0,
             json: None,
-            stepping: bml_sim::Stepping::default(),
+            threads: None,
+            out_dir: ".".into(),
+            stepping: None,
         }
     }
 }
@@ -51,145 +76,80 @@ impl Args {
         Self::parse_from(std::env::args().skip(1))
     }
 
-    /// Parse from an explicit iterator (testable).
+    /// Parse from an explicit iterator, exiting on error.
     pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        Self::try_parse_from(args).unwrap_or_else(|msg| die(&msg))
+    }
+
+    /// Parse from an explicit iterator; errors (including `--help`)
+    /// become the message the CLI would print before exiting, usage line
+    /// included — this is what the unknown-flag tests exercise.
+    pub fn try_parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut out = Args::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
                 it.next()
-                    .unwrap_or_else(|| die(&format!("missing value for {name}")))
+                    .ok_or_else(|| format!("missing value for {name}\n{USAGE}"))
             };
             match flag.as_str() {
-                "--seed" => out.seed = parse_num(&value("--seed"), "--seed"),
-                "--days" => out.days = parse_num(&value("--days"), "--days"),
-                "--window" => out.window = Some(parse_num(&value("--window"), "--window")),
-                "--noise" => out.noise = parse_num(&value("--noise"), "--noise"),
+                "--seed" => out.seed = parse_num(&value("--seed")?, "--seed")?,
+                "--days" => out.days = Some(parse_num(&value("--days")?, "--days")?),
+                "--window" => out.window = Some(parse_num(&value("--window")?, "--window")?),
+                "--noise" => out.noise = parse_num(&value("--noise")?, "--noise")?,
+                "--threads" => {
+                    let n: usize = parse_num(&value("--threads")?, "--threads")?;
+                    if n == 0 {
+                        return Err(format!("--threads must be at least 1\n{USAGE}"));
+                    }
+                    out.threads = Some(n);
+                }
+                "--out-dir" => out.out_dir = value("--out-dir")?,
                 "--csv" => out.csv = true,
-                "--json" => out.json = Some(value("--json")),
+                "--json" => out.json = Some(value("--json")?),
                 "--stepping" => {
-                    out.stepping = match value("--stepping").as_str() {
+                    out.stepping = Some(match value("--stepping")?.as_str() {
                         "event" | "event-driven" => bml_sim::Stepping::EventDriven,
                         "per-second" | "per_second" => bml_sim::Stepping::PerSecond,
-                        other => die(&format!(
-                            "bad value '{other}' for --stepping (want 'event' or 'per-second')"
-                        )),
-                    }
+                        other => {
+                            return Err(format!(
+                                "bad value '{other}' for --stepping (want 'event' or 'per-second')\n{USAGE}"
+                            ))
+                        }
+                    })
                 }
-                "--help" | "-h" => die(
-                    "usage: [--seed N] [--days N] [--window S] [--noise SIGMA] [--csv] \
-                     [--json PATH] [--stepping event|per-second]",
-                ),
-                other => die(&format!("unknown flag '{other}'")),
+                "--help" | "-h" => return Err(USAGE.into()),
+                other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// The trace span to simulate: `--days` when given, otherwise the
+    /// binary's own default.
+    pub fn days_or(&self, default: u32) -> u32 {
+        self.days.unwrap_or(default)
+    }
+
+    /// The stepping mode for single-run binaries: `--stepping` when
+    /// given, otherwise event-driven.
+    pub fn stepping_or_default(&self) -> bml_sim::Stepping {
+        self.stepping.unwrap_or_default()
+    }
+
+    /// A rayon pool honoring `--threads` (the default pool when unset).
+    /// Run parallel sections under `pool().install(|| ...)`.
+    pub fn pool(&self) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads.unwrap_or(0))
+            .build()
+            .expect("thread pool construction cannot fail")
     }
 }
 
-/// Minimal JSON emission for the `BENCH_*.json` perf-trajectory artifacts.
-///
-/// The vendored serde stand-in deliberately does not serialize, so the
-/// handful of summary fields the CI smoke job uploads are written by hand
-/// through this ordered object builder.
-pub mod json {
-    /// An ordered JSON object under construction.
-    #[derive(Debug, Default)]
-    pub struct Object {
-        fields: Vec<(String, String)>,
-    }
-
-    impl Object {
-        /// Empty object.
-        pub fn new() -> Self {
-            Self::default()
-        }
-
-        /// Add a string field (escaped).
-        pub fn str(mut self, key: &str, v: &str) -> Self {
-            let escaped = escape(v);
-            self.fields.push((key.into(), format!("\"{escaped}\"")));
-            self
-        }
-
-        /// Add an integer field.
-        pub fn int(mut self, key: &str, v: u64) -> Self {
-            self.fields.push((key.into(), v.to_string()));
-            self
-        }
-
-        /// Add a number field (`null` when not finite).
-        pub fn num(mut self, key: &str, v: f64) -> Self {
-            self.fields.push((key.into(), fmt_f64(v)));
-            self
-        }
-
-        /// Add an array of numbers.
-        pub fn nums(mut self, key: &str, vs: &[f64]) -> Self {
-            let body: Vec<String> = vs.iter().map(|&v| fmt_f64(v)).collect();
-            self.fields
-                .push((key.into(), format!("[{}]", body.join(","))));
-            self
-        }
-
-        /// Add a nested object.
-        pub fn obj(mut self, key: &str, v: Object) -> Self {
-            self.fields.push((key.into(), v.render()));
-            self
-        }
-
-        /// Add an array of nested objects.
-        pub fn objs(mut self, key: &str, vs: Vec<Object>) -> Self {
-            let body: Vec<String> = vs.into_iter().map(|o| o.render()).collect();
-            self.fields
-                .push((key.into(), format!("[{}]", body.join(","))));
-            self
-        }
-
-        /// Serialize to a JSON string.
-        pub fn render(&self) -> String {
-            let body: Vec<String> = self
-                .fields
-                .iter()
-                .map(|(k, v)| format!("\"{}\":{}", escape(k), v))
-                .collect();
-            format!("{{{}}}", body.join(","))
-        }
-
-        /// Write to `path` with a trailing newline.
-        pub fn write(&self, path: &str) -> std::io::Result<()> {
-            std::fs::write(path, self.render() + "\n")
-        }
-    }
-
-    fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len());
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-
-    fn fmt_f64(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v}")
-        } else {
-            "null".into()
-        }
-    }
-}
-
-fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse()
-        .unwrap_or_else(|_| die(&format!("bad value '{s}' for {flag}")))
+        .map_err(|_| format!("bad value '{s}' for {flag}\n{USAGE}"))
 }
 
 fn die(msg: &str) -> ! {
@@ -205,14 +165,31 @@ mod tests {
         Args::parse_from(v.iter().map(|s| s.to_string()))
     }
 
+    fn try_parse(v: &[&str]) -> Result<Args, String> {
+        Args::try_parse_from(v.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn defaults() {
         let a = parse(&[]);
         assert_eq!(a.seed, 1998);
-        assert_eq!(a.days, 87);
+        assert_eq!(a.days, None);
+        assert_eq!(a.days_or(87), 87);
         assert_eq!(a.window, None);
         assert!(!a.csv);
-        assert_eq!(a.stepping, bml_sim::Stepping::EventDriven);
+        assert_eq!(a.threads, None);
+        assert_eq!(a.out_dir, ".");
+        assert_eq!(a.stepping, None);
+        assert_eq!(a.stepping_or_default(), bml_sim::Stepping::EventDriven);
+    }
+
+    #[test]
+    fn explicit_days_survive_even_at_a_binary_default_value() {
+        // `--days 87` must be distinguishable from "no --days": binaries
+        // with smaller defaults must not silently shrink an explicit 87.
+        let a = parse(&["--days", "87"]);
+        assert_eq!(a.days, Some(87));
+        assert_eq!(a.days_or(3), 87);
     }
 
     #[test]
@@ -229,44 +206,75 @@ mod tests {
             "--csv",
             "--json",
             "out.json",
+            "--threads",
+            "4",
+            "--out-dir",
+            "artifacts",
             "--stepping",
             "per-second",
         ]);
         assert_eq!(a.seed, 7);
-        assert_eq!(a.days, 3);
+        assert_eq!(a.days, Some(3));
         assert_eq!(a.window, Some(600));
         assert_eq!(a.noise, 0.2);
         assert!(a.csv);
         assert_eq!(a.json.as_deref(), Some("out.json"));
-        assert_eq!(a.stepping, bml_sim::Stepping::PerSecond);
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.out_dir, "artifacts");
+        assert_eq!(a.stepping, Some(bml_sim::Stepping::PerSecond));
     }
 
     #[test]
     fn stepping_aliases() {
         assert_eq!(
             parse(&["--stepping", "event-driven"]).stepping,
-            bml_sim::Stepping::EventDriven
+            Some(bml_sim::Stepping::EventDriven)
         );
         assert_eq!(
             parse(&["--stepping", "per_second"]).stepping,
-            bml_sim::Stepping::PerSecond
+            Some(bml_sim::Stepping::PerSecond)
         );
     }
 
     #[test]
-    fn json_builder_renders_ordered_fields() {
-        let o = json::Object::new()
-            .str("name", "fig5 \"smoke\"")
-            .int("days", 2)
-            .num("energy", 1.5)
-            .num("bad", f64::NAN)
-            .nums("daily", &[1.0, 2.5])
-            .obj("stats", json::Object::new().num("mean", 0.25))
-            .objs("rows", vec![json::Object::new().int("d", 0)]);
-        assert_eq!(
-            o.render(),
-            "{\"name\":\"fig5 \\\"smoke\\\"\",\"days\":2,\"energy\":1.5,\"bad\":null,\
-             \"daily\":[1,2.5],\"stats\":{\"mean\":0.25},\"rows\":[{\"d\":0}]}"
-        );
+    fn unknown_flag_reports_usage() {
+        let err = try_parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("unknown flag '--bogus'"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        assert!(err.contains("--threads N"), "{err}");
+        assert!(err.contains("--out-dir PATH"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_bad_values_report_usage() {
+        let err = try_parse(&["--threads"]).unwrap_err();
+        assert!(err.contains("missing value for --threads"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        let err = try_parse(&["--threads", "zero"]).unwrap_err();
+        assert!(err.contains("bad value 'zero' for --threads"), "{err}");
+        let err = try_parse(&["--threads", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = try_parse(&["--stepping", "warp"]).unwrap_err();
+        assert!(err.contains("bad value 'warp' for --stepping"), "{err}");
+    }
+
+    #[test]
+    fn help_is_the_usage_line() {
+        assert_eq!(try_parse(&["--help"]).unwrap_err(), USAGE);
+        assert_eq!(try_parse(&["-h"]).unwrap_err(), USAGE);
+    }
+
+    #[test]
+    fn pool_honors_threads() {
+        let mut a = parse(&["--threads", "3"]);
+        assert_eq!(a.pool().current_num_threads(), 3);
+        a.threads = None;
+        assert!(a.pool().current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn json_reexport_renders() {
+        // The builder itself is tested in bml-grid; pin the re-export.
+        assert_eq!(json::Object::new().int("d", 0).render(), "{\"d\":0}");
     }
 }

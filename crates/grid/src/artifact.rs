@@ -1,0 +1,255 @@
+//! Versioned grid artifacts: `BENCH_grid.json` and `BENCH_grid.csv`.
+//!
+//! # Schema (`bml-grid/v1`)
+//!
+//! ```text
+//! {
+//!   "schema":   "bml-grid/v1",
+//!   "name":     <spec name>,
+//!   "root_seed": <u64>,
+//!   "n_cells":  <usize>,
+//!   "dimensions": { <dimension>: [<value label>, ...], ... },   // spec order
+//!   "cells": [ { "index", "seed" (decimal string — full-range u64),
+//!                <7 dimension labels>,
+//!                "total_energy_j", "mean_power_w", "qos_shortfall",
+//!                "violation_seconds", "worst_shortfall",
+//!                "reconfigurations", "nodes_switched_on",
+//!                "nodes_switched_off", "reconfig_energy_j",
+//!                "instance_migrations" }, ... ],                // enumeration order
+//!   "best_by_dimension": [ { "dimension", "value", "cell",
+//!                            "total_energy_j", "qos_shortfall" }, ... ],
+//!   "pareto_energy_vs_qos": [ <cell index>, ... ]               // ascending energy
+//! }
+//! ```
+//!
+//! The artifact deliberately records **no** wall-clock times, thread
+//! counts, hostnames or dates: for a fixed spec and root seed the
+//! rendered bytes are identical on any machine at any `--threads`
+//! setting. Perf telemetry belongs next to the artifact (CI logs, the
+//! grid binary's stderr), not inside it. Bump the `schema` string on any
+//! field change; consumers match on it.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::aggregate::{pareto_frontier, per_dimension_bests};
+use crate::executor::GridOutcome;
+use crate::json::Object;
+use crate::spec::DIMENSIONS;
+
+/// Current artifact schema identifier.
+pub const SCHEMA: &str = "bml-grid/v1";
+
+/// JSON artifact file name.
+pub const JSON_NAME: &str = "BENCH_grid.json";
+
+/// CSV artifact file name.
+pub const CSV_NAME: &str = "BENCH_grid.csv";
+
+/// Render the versioned JSON artifact (no trailing newline).
+pub fn render_json(out: &GridOutcome) -> String {
+    let mut dims = Object::new();
+    for (d, name) in DIMENSIONS.iter().enumerate() {
+        dims = dims.strs(name, &out.spec.dimension_values(d));
+    }
+    let cells = out
+        .cells
+        .iter()
+        .map(|c| {
+            // The seed is a full-range u64; emitted as a decimal string
+            // because values above 2^53 silently lose precision in
+            // double-based JSON consumers, and the seed's whole purpose
+            // is exact cell reproduction.
+            let mut o = Object::new()
+                .int("index", c.coords.index as u64)
+                .str("seed", &c.coords.seed.to_string());
+            for (name, label) in DIMENSIONS.iter().zip(&c.labels) {
+                o = o.str(name, label);
+            }
+            let s = &c.summary;
+            o.num("total_energy_j", s.total_energy_j)
+                .num("mean_power_w", s.mean_power_w)
+                .num("qos_shortfall", s.qos_shortfall)
+                .int("violation_seconds", s.violation_seconds)
+                .num("worst_shortfall", s.worst_shortfall)
+                .int("reconfigurations", s.reconfigurations)
+                .int("nodes_switched_on", s.nodes_switched_on)
+                .int("nodes_switched_off", s.nodes_switched_off)
+                .num("reconfig_energy_j", s.reconfig_energy_j)
+                .int("instance_migrations", s.instance_migrations)
+        })
+        .collect();
+    let bests = per_dimension_bests(out)
+        .into_iter()
+        .map(|b| {
+            Object::new()
+                .str("dimension", &b.dimension)
+                .str("value", &b.value)
+                .int("cell", b.cell as u64)
+                .num("total_energy_j", b.total_energy_j)
+                .num("qos_shortfall", b.qos_shortfall)
+        })
+        .collect();
+    let pareto: Vec<f64> = pareto_frontier(out).iter().map(|&i| i as f64).collect();
+    Object::new()
+        .str("schema", SCHEMA)
+        .str("name", &out.spec.name)
+        .int("root_seed", out.spec.root_seed)
+        .int("n_cells", out.cells.len() as u64)
+        .obj("dimensions", dims)
+        .objs("cells", cells)
+        .objs("best_by_dimension", bests)
+        .nums("pareto_energy_vs_qos", &pareto)
+        .render()
+}
+
+/// CSV column headers: coordinates, labels, then the summary fields.
+const CSV_HEADER: &str = "index,seed,trace,catalog,scheduler,window,noise_sigma,split,stepping,\
+                          total_energy_j,mean_power_w,qos_shortfall,violation_seconds,\
+                          worst_shortfall,reconfigurations,nodes_switched_on,nodes_switched_off,\
+                          reconfig_energy_j,instance_migrations";
+
+/// RFC-4180 field quoting: labels are free-form (custom catalog names may
+/// hold commas or quotes), so any field containing a delimiter, quote or
+/// newline is wrapped in quotes with inner quotes doubled.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render the flat per-cell CSV artifact (header + one row per cell).
+pub fn render_csv(out: &GridOutcome) -> String {
+    let mut s = String::from(CSV_HEADER);
+    s.push('\n');
+    for c in &out.cells {
+        let m = &c.summary;
+        s.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            c.coords.index,
+            c.coords.seed,
+            csv_field(&c.labels[0]),
+            csv_field(&c.labels[1]),
+            csv_field(&c.labels[2]),
+            csv_field(&c.labels[3]),
+            csv_field(&c.labels[4]),
+            csv_field(&c.labels[5]),
+            csv_field(&c.labels[6]),
+            m.total_energy_j,
+            m.mean_power_w,
+            m.qos_shortfall,
+            m.violation_seconds,
+            m.worst_shortfall,
+            m.reconfigurations,
+            m.nodes_switched_on,
+            m.nodes_switched_off,
+            m.reconfig_energy_j,
+            m.instance_migrations,
+        ));
+    }
+    s
+}
+
+/// Write both artifacts into `dir` (created if missing); returns the two
+/// paths (JSON, CSV). The JSON gets a trailing newline, like every other
+/// `BENCH_*.json` this repo emits.
+pub fn write_artifacts(out: &GridOutcome, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(JSON_NAME);
+    let csv_path = dir.join(CSV_NAME);
+    std::fs::write(&json_path, render_json(out) + "\n")?;
+    std::fs::write(&csv_path, render_csv(out))?;
+    Ok((json_path, csv_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::run_grid;
+    use crate::spec::{CatalogSpec, GridSpec, SchedulerDim, TraceSpec};
+    use bml_core::combination::SplitPolicy;
+    use bml_sim::Stepping;
+
+    fn outcome() -> GridOutcome {
+        let spec = GridSpec {
+            name: "artifact-unit".into(),
+            root_seed: 3,
+            traces: vec![TraceSpec {
+                source: "constant".into(),
+                days: 1,
+                seed: 0,
+            }],
+            catalogs: vec![CatalogSpec::paper_trio()],
+            schedulers: vec![SchedulerDim::Baseline],
+            windows: vec![None, Some(378)],
+            noise_sigmas: vec![0.0],
+            splits: vec![SplitPolicy::EfficiencyGreedy],
+            steppings: vec![Stepping::EventDriven],
+        };
+        run_grid(&spec, Some(2)).unwrap()
+    }
+
+    #[test]
+    fn json_has_schema_and_every_cell() {
+        let out = outcome();
+        let j = render_json(&out);
+        assert!(j.starts_with("{\"schema\":\"bml-grid/v1\""));
+        assert!(j.contains("\"name\":\"artifact-unit\""));
+        assert!(j.contains("\"n_cells\":2"));
+        assert!(j.contains("\"pareto_energy_vs_qos\":["));
+        // One energy field per cell plus one per best-by-dimension entry.
+        let n_bests = per_dimension_bests(&out).len();
+        assert_eq!(j.matches("\"total_energy_j\":").count(), 2 + n_bests);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cell() {
+        let out = outcome();
+        let csv = render_csv(&out);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + out.cells.len());
+        assert!(lines[0].starts_with("index,seed,trace,"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and rows must align"
+        );
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn csv_quotes_labels_containing_delimiters() {
+        let mut out = outcome();
+        // Free-form catalog names are supported; a comma must not shift
+        // the row's columns.
+        out.cells[0].labels[1] = "big,medium \"custom\"".into();
+        let csv = render_csv(&out);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(
+            row.contains("\"big,medium \"\"custom\"\"\""),
+            "label not quoted: {row}"
+        );
+        assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn json_seed_is_a_decimal_string() {
+        let out = outcome();
+        let j = render_json(&out);
+        let expected = format!("\"seed\":\"{}\"", out.cells[0].coords.seed);
+        assert!(j.contains(&expected), "{j}");
+    }
+
+    #[test]
+    fn artifacts_write_to_directory() {
+        let out = outcome();
+        let dir = std::env::temp_dir().join("bml_grid_artifact_test");
+        let (j, c) = write_artifacts(&out, &dir).unwrap();
+        let bytes = std::fs::read_to_string(&j).unwrap();
+        assert_eq!(bytes, render_json(&out) + "\n");
+        assert_eq!(std::fs::read_to_string(&c).unwrap(), render_csv(&out));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

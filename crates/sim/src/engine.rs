@@ -214,7 +214,51 @@ pub struct ScenarioResult {
     pub reconfig_log: Vec<ReconfigRecord>,
 }
 
+/// The compact per-cell summary an experiment-grid aggregator consumes:
+/// every scalar of [`ScenarioResult`] and nothing that grows with the run
+/// (no per-day vectors, no reconfiguration log) — hundreds of grid cells
+/// stay cheap to hold, serialize, and diff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Total energy (J), transitions included.
+    pub total_energy_j: f64,
+    /// Mean power over the run (W).
+    pub mean_power_w: f64,
+    /// Fraction of total demand that went unserved, in `[0, 1]`.
+    pub qos_shortfall: f64,
+    /// Seconds where served < demand.
+    pub violation_seconds: u64,
+    /// Worst single-second relative shortfall, in `[0, 1]`.
+    pub worst_shortfall: f64,
+    /// Reconfigurations launched.
+    pub reconfigurations: u64,
+    /// Machines booted over the run.
+    pub nodes_switched_on: u64,
+    /// Machines shut down over the run.
+    pub nodes_switched_off: u64,
+    /// Energy charged to On/Off transitions (J).
+    pub reconfig_energy_j: f64,
+    /// Stop+start instance migrations.
+    pub instance_migrations: u64,
+}
+
 impl ScenarioResult {
+    /// The per-cell summary grid aggregation consumes (see [`CellSummary`]).
+    pub fn summary(&self) -> CellSummary {
+        CellSummary {
+            total_energy_j: self.total_energy_j,
+            mean_power_w: self.mean_power_w,
+            qos_shortfall: self.qos.shortfall_fraction(),
+            violation_seconds: self.qos.violation_seconds,
+            worst_shortfall: self.qos.worst_shortfall,
+            reconfigurations: self.reconfigurations,
+            nodes_switched_on: self.nodes_switched_on,
+            nodes_switched_off: self.nodes_switched_off,
+            reconfig_energy_j: self.reconfig_energy_j,
+            instance_migrations: self.instance_migrations,
+        }
+    }
+
     /// Check that `other` is a replay-equivalent result of the same
     /// scenario — the contract between the two stepping modes: every
     /// discrete outcome (reconfiguration log, switch/migration/failure

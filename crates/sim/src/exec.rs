@@ -1,0 +1,243 @@
+//! The shared experiment-cell executor.
+//!
+//! Every experiment in this repo — the four ablation sweeps in
+//! [`crate::runner`], the `bml-grid` multi-dimensional scenario grids, the
+//! bench binaries — boils down to the same unit of work: *run the BML
+//! pro-active scenario once under a specific knob setting*. This module is
+//! the single implementation of that unit ([`run_cell`]) plus the one
+//! parallel fan-out everything shares ([`run_cells`]).
+//!
+//! Determinism contract: [`run_cells`] preserves input order (the rayon
+//! parallel map collects results into input slots), and each cell's
+//! randomness is confined to its own [`CellConfig::noise_seed`], so the
+//! result vector is **bit-identical regardless of the worker-thread
+//! count**. `bml-grid` relies on this to emit byte-identical artifacts at
+//! any `--threads` setting.
+
+use bml_app::ApplicationSpec;
+use bml_core::bml::BmlInfrastructure;
+use bml_core::combination::SplitPolicy;
+use bml_core::scheduler::paper_window_length;
+use bml_trace::{LoadTrace, LookaheadMaxPredictor, NoisyPredictor};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{
+    simulate_bml, FailureModel, ScenarioResult, SchedulerKind, SimConfig, Stepping,
+};
+
+/// Everything that distinguishes one experiment cell from another, apart
+/// from the trace and the infrastructure it runs against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// Scheduler implementation driving the reconfigurations.
+    pub scheduler: SchedulerKind,
+    /// Look-ahead window (s); `None` = the paper's 2x-longest-boot rule.
+    pub window: Option<u64>,
+    /// Relative gaussian prediction-error sigma; 0 = clean prediction.
+    pub noise_sigma: f64,
+    /// RNG seed of the noise injection (unused at sigma 0).
+    pub noise_seed: u64,
+    /// Load-split policy across online machines.
+    pub split: SplitPolicy,
+    /// Engine stepping mode.
+    pub stepping: Stepping,
+    /// Start from an all-off cluster instead of pre-warming.
+    pub cold_start: bool,
+    /// Application spec for migration accounting (`None` disables it).
+    pub app: Option<ApplicationSpec>,
+    /// Optional machine-crash injection (forces per-second stepping, as
+    /// always).
+    pub failures: Option<FailureModel>,
+}
+
+impl CellConfig {
+    /// Lift a [`SimConfig`] into a clean-prediction cell: same scheduler,
+    /// window, split, stepping, cold-start, app and failure-model
+    /// settings, no noise.
+    pub fn from_sim(base: &SimConfig) -> Self {
+        CellConfig {
+            scheduler: base.scheduler.clone(),
+            window: base.window,
+            noise_sigma: 0.0,
+            noise_seed: 0,
+            split: base.split,
+            stepping: base.stepping,
+            cold_start: base.cold_start,
+            app: base.app.clone(),
+            failures: base.failures.clone(),
+        }
+    }
+
+    /// The engine configuration this cell runs under.
+    fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            window: self.window,
+            split: self.split,
+            cold_start: self.cold_start,
+            app: self.app.clone(),
+            scheduler: self.scheduler.clone(),
+            failures: self.failures.clone(),
+            stepping: self.stepping,
+        }
+    }
+}
+
+/// One unit of grid work: a cell bound to its trace and infrastructure.
+/// Cells in one batch may share traces and infrastructures (the grid
+/// executor caches both), hence the borrows.
+#[derive(Debug, Clone)]
+pub struct CellJob<'a> {
+    /// The load trace the scenario replays.
+    pub trace: &'a LoadTrace,
+    /// The BML infrastructure serving it.
+    pub bml: &'a BmlInfrastructure,
+    /// The knob setting under test.
+    pub cell: CellConfig,
+}
+
+/// Run one experiment cell: the BML pro-active scenario with the cell's
+/// scheduler/window/split/stepping, under clean look-ahead-max prediction
+/// at sigma 0 or noise-injected prediction otherwise.
+///
+/// At sigma 0 this is exactly [`crate::scenarios::bml_proactive`]; with
+/// noise it matches what `sweep_prediction_noise` has always done — the
+/// noisy wrapper's per-call RNG forces the per-second reference engine,
+/// while the sigma-0 cell honors the requested stepping.
+pub fn run_cell(trace: &LoadTrace, bml: &BmlInfrastructure, cell: &CellConfig) -> ScenarioResult {
+    let config = cell.sim_config();
+    let window = cell
+        .window
+        .unwrap_or_else(|| paper_window_length(bml.candidates()));
+    let mut inner = LookaheadMaxPredictor::new(trace, window);
+    if cell.noise_sigma == 0.0 {
+        simulate_bml(trace, bml, &mut inner, &config)
+    } else {
+        let mut predictor = NoisyPredictor::new(inner, cell.noise_sigma, cell.noise_seed);
+        simulate_bml(trace, bml, &mut predictor, &config)
+    }
+}
+
+/// Execute a batch of cells in parallel, returning results in input order.
+///
+/// `threads` caps the worker count (`None` = rayon's default). The cap
+/// only changes wall-clock time, never results: output order is the input
+/// order and cells share no mutable state.
+pub fn run_cells(jobs: &[CellJob<'_>], threads: Option<usize>) -> Vec<ScenarioResult> {
+    let run = || {
+        jobs.par_iter()
+            .map(|j| run_cell(j.trace, j.bml, &j.cell))
+            .collect()
+    };
+    match threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n.max(1))
+            .build()
+            .expect("thread pool construction cannot fail")
+            .install(run),
+        None => run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use bml_core::catalog;
+
+    fn bml() -> BmlInfrastructure {
+        BmlInfrastructure::build(&catalog::table1()).unwrap()
+    }
+
+    fn clean_cell() -> CellConfig {
+        CellConfig::from_sim(&SimConfig::default())
+    }
+
+    /// A piecewise step trace: cheap to simulate in debug builds while
+    /// still exercising reconfigurations.
+    fn step_trace(levels: &[f64], len: usize) -> LoadTrace {
+        let mut rates = Vec::with_capacity(levels.len() * len);
+        for &l in levels {
+            rates.extend(std::iter::repeat_n(l, len));
+        }
+        LoadTrace::new(0, rates)
+    }
+
+    #[test]
+    fn clean_cell_matches_bml_proactive() {
+        let trace = step_trace(&[40.0, 900.0, 120.0], 1_200);
+        let bml = bml();
+        let via_cell = run_cell(&trace, &bml, &clean_cell());
+        let via_scenario = scenarios::bml_proactive(&trace, &bml, &SimConfig::default());
+        assert_eq!(via_cell, via_scenario);
+    }
+
+    #[test]
+    fn noisy_cell_is_deterministic_in_its_seed() {
+        let trace = step_trace(&[80.0, 700.0], 1_500);
+        let bml = bml();
+        let cell = CellConfig {
+            noise_sigma: 0.2,
+            noise_seed: 11,
+            ..clean_cell()
+        };
+        let a = run_cell(&trace, &bml, &cell);
+        let b = run_cell(&trace, &bml, &cell);
+        assert_eq!(a, b);
+        let other_seed = run_cell(
+            &trace,
+            &bml,
+            &CellConfig {
+                noise_seed: 12,
+                ..cell
+            },
+        );
+        assert_ne!(a, other_seed, "noise seed must matter");
+    }
+
+    #[test]
+    fn failure_model_survives_the_cell_wrapping() {
+        // The sweeps lift SimConfig through CellConfig::from_sim; a base
+        // with crash injection must keep injecting (regression: the
+        // wrapper once dropped `failures`).
+        let trace = step_trace(&[150.0], 3_000);
+        let bml = bml();
+        let base = SimConfig {
+            failures: Some(crate::engine::FailureModel {
+                mtbf_s: 400.0,
+                repair_s: 20,
+                seed: 5,
+            }),
+            ..Default::default()
+        };
+        let via_cell = run_cell(&trace, &bml, &CellConfig::from_sim(&base));
+        assert!(via_cell.failures_injected > 0, "failure model was dropped");
+        let direct = crate::scenarios::bml_proactive(&trace, &bml, &base);
+        assert_eq!(via_cell, direct);
+    }
+
+    #[test]
+    fn run_cells_preserves_order_across_thread_counts() {
+        let traces: Vec<_> = [300.0, 800.0, 1_500.0, 50.0]
+            .iter()
+            .map(|&peak| step_trace(&[peak * 0.1, peak], 1_000))
+            .collect();
+        let bml = bml();
+        let jobs: Vec<CellJob<'_>> = traces
+            .iter()
+            .map(|t| CellJob {
+                trace: t,
+                bml: &bml,
+                cell: clean_cell(),
+            })
+            .collect();
+        let one = run_cells(&jobs, Some(1));
+        let many = run_cells(&jobs, Some(4));
+        let default = run_cells(&jobs, None);
+        assert_eq!(one, many);
+        assert_eq!(one, default);
+        // Order check: energies track the peak ordering of the traces.
+        assert!(one[3].total_energy_j < one[0].total_energy_j);
+        assert!(one[0].total_energy_j < one[2].total_energy_j);
+    }
+}

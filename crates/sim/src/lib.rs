@@ -15,21 +15,28 @@
 //! * [`qos`] — demand-vs-served accounting;
 //! * [`scenarios`] — the four Fig. 5 scenarios (two homogeneous upper
 //!   bounds, BML, the theoretical lower bound);
-//! * [`runner`] — rayon-parallel comparison and ablation sweeps.
+//! * [`exec`] — the shared experiment-cell executor: one knob setting =
+//!   one cell, fanned out rayon-parallel with order-preserving,
+//!   thread-count-independent results;
+//! * [`runner`] — the Fig. 5 comparison and the ablation sweeps, thin
+//!   wrappers over [`exec`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
 pub mod engine;
+pub mod exec;
 pub mod qos;
 pub mod runner;
 pub mod scenarios;
 
 pub use cluster::{ArchPool, Cluster};
 pub use engine::{
-    simulate_bml, FailureModel, ReconfigRecord, ScenarioResult, SchedulerKind, SimConfig, Stepping,
+    simulate_bml, CellSummary, FailureModel, ReconfigRecord, ScenarioResult, SchedulerKind,
+    SimConfig, Stepping,
 };
+pub use exec::{run_cell, run_cells, CellConfig, CellJob};
 pub use qos::QosReport;
 pub use runner::{
     run_comparison, sweep_prediction_noise, sweep_split_policy, sweep_window, ComparisonResult,

@@ -1,15 +1,20 @@
 //! Scenario runner: the Fig. 5 four-way comparison and the ablation
-//! sweeps, fanned out with rayon (scenarios and sweep points are
-//! independent, so they parallelize embarrassingly).
+//! sweeps.
+//!
+//! Each sweep is a thin wrapper that lays out its one-dimensional knob as
+//! experiment cells and hands them to the shared parallel cell executor
+//! ([`crate::exec::run_cells`]) — the same engine `bml-grid` drives for
+//! multi-dimensional scenario grids. The sweeps own nothing but the
+//! mapping from their knob to a [`CellConfig`].
 
 use bml_core::bml::BmlInfrastructure;
 use bml_core::combination::SplitPolicy;
 use bml_metrics::{overhead_stats, OverheadStats};
-use bml_trace::{LoadTrace, LookaheadMaxPredictor, NoisyPredictor};
-use rayon::prelude::*;
+use bml_trace::LoadTrace;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{simulate_bml, ScenarioResult, SimConfig};
+use crate::engine::{ScenarioResult, SimConfig};
+use crate::exec::{run_cells, CellConfig, CellJob};
 use crate::scenarios;
 
 /// Outcome of the Fig. 5 comparison.
@@ -76,6 +81,21 @@ pub fn run_comparison(
     }
 }
 
+/// Fan a list of cells out over the shared executor and zip the results
+/// back onto their knob values.
+fn sweep<K>(
+    trace: &LoadTrace,
+    bml: &BmlInfrastructure,
+    points: Vec<(K, CellConfig)>,
+) -> Vec<(K, ScenarioResult)> {
+    let (knobs, cells): (Vec<K>, Vec<CellConfig>) = points.into_iter().unzip();
+    let jobs: Vec<CellJob<'_>> = cells
+        .into_iter()
+        .map(|cell| CellJob { trace, bml, cell })
+        .collect();
+    knobs.into_iter().zip(run_cells(&jobs, None)).collect()
+}
+
 /// Ablation: BML total energy and QoS as a function of the look-ahead
 /// window length. Returns `(window_s, result)` pairs, computed in
 /// parallel.
@@ -85,16 +105,23 @@ pub fn sweep_window(
     windows: &[u64],
     base: &SimConfig,
 ) -> Vec<(u64, ScenarioResult)> {
-    windows
-        .par_iter()
-        .map(|&w| {
-            let config = SimConfig {
-                window: Some(w),
-                ..base.clone()
-            };
-            (w, scenarios::bml_proactive(trace, bml, &config))
-        })
-        .collect()
+    let base_cell = CellConfig::from_sim(base);
+    sweep(
+        trace,
+        bml,
+        windows
+            .iter()
+            .map(|&w| {
+                (
+                    w,
+                    CellConfig {
+                        window: Some(w),
+                        ..base_cell.clone()
+                    },
+                )
+            })
+            .collect(),
+    )
 }
 
 /// Future-work experiment (paper Sec. VI): impact of prediction *errors*
@@ -112,25 +139,24 @@ pub fn sweep_prediction_noise(
     seed: u64,
     base: &SimConfig,
 ) -> Vec<(f64, ScenarioResult)> {
-    let window = base
-        .window
-        .unwrap_or_else(|| bml_core::scheduler::paper_window_length(bml.candidates()));
-    sigmas
-        .par_iter()
-        .map(|&sigma| {
-            let mut inner = LookaheadMaxPredictor::new(trace, window);
-            if sigma == 0.0 {
-                // The noise wrapper is transparent at sigma 0 but would
-                // still force per-second stepping (its per-call RNG makes
-                // it non-segmented); run the clean predictor directly so
-                // the baseline honors `base.stepping`.
-                (sigma, simulate_bml(trace, bml, &mut inner, base))
-            } else {
-                let mut predictor = NoisyPredictor::new(inner, sigma, seed);
-                (sigma, simulate_bml(trace, bml, &mut predictor, base))
-            }
-        })
-        .collect()
+    let base_cell = CellConfig::from_sim(base);
+    sweep(
+        trace,
+        bml,
+        sigmas
+            .iter()
+            .map(|&sigma| {
+                (
+                    sigma,
+                    CellConfig {
+                        noise_sigma: sigma,
+                        noise_seed: seed,
+                        ..base_cell.clone()
+                    },
+                )
+            })
+            .collect(),
+    )
 }
 
 /// Ablation: the paper's baseline scheduler versus the future-work
@@ -149,26 +175,32 @@ pub fn sweep_scheduler(
         split: base.split,
         consider_keep_variants: true,
     };
-    let kinds = [
-        (
-            "baseline".to_string(),
-            crate::engine::SchedulerKind::Baseline,
-        ),
-        (
-            "transition-aware".to_string(),
-            crate::engine::SchedulerKind::TransitionAware(aware_cfg),
-        ),
-    ];
-    kinds
-        .into_par_iter()
+    let base_cell = CellConfig::from_sim(base);
+    sweep(
+        trace,
+        bml,
+        [
+            (
+                "baseline".to_string(),
+                crate::engine::SchedulerKind::Baseline,
+            ),
+            (
+                "transition-aware".to_string(),
+                crate::engine::SchedulerKind::TransitionAware(aware_cfg),
+            ),
+        ]
+        .into_iter()
         .map(|(name, scheduler)| {
-            let config = SimConfig {
-                scheduler,
-                ..base.clone()
-            };
-            (name, scenarios::bml_proactive(trace, bml, &config))
+            (
+                name,
+                CellConfig {
+                    scheduler,
+                    ..base_cell.clone()
+                },
+            )
         })
-        .collect()
+        .collect(),
+    )
 }
 
 /// Ablation: load-split policy across online machines.
@@ -177,19 +209,26 @@ pub fn sweep_split_policy(
     bml: &BmlInfrastructure,
     base: &SimConfig,
 ) -> Vec<(SplitPolicy, ScenarioResult)> {
-    [
-        SplitPolicy::EfficiencyGreedy,
-        SplitPolicy::ProportionalToCapacity,
-    ]
-    .par_iter()
-    .map(|&split| {
-        let config = SimConfig {
-            split,
-            ..base.clone()
-        };
-        (split, scenarios::bml_proactive(trace, bml, &config))
-    })
-    .collect()
+    let base_cell = CellConfig::from_sim(base);
+    sweep(
+        trace,
+        bml,
+        [
+            SplitPolicy::EfficiencyGreedy,
+            SplitPolicy::ProportionalToCapacity,
+        ]
+        .into_iter()
+        .map(|split| {
+            (
+                split,
+                CellConfig {
+                    split,
+                    ..base_cell.clone()
+                },
+            )
+        })
+        .collect(),
+    )
 }
 
 #[cfg(test)]

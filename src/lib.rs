@@ -16,6 +16,8 @@
 //! * [`metrics`] (`bml-metrics`) — IPR/LDR, energy accounting, reports;
 //! * [`sim`] (`bml-sim`) — the discrete-event simulator and the four
 //!   Fig. 5 scenarios;
+//! * [`grid`] (`bml-grid`) — declarative multi-dimensional scenario
+//!   grids executed rayon-parallel with deterministic artifacts;
 //! * [`profiler`] (`bml-profiler`) — the Step-1 measurement harness.
 //!
 //! ```
@@ -29,6 +31,7 @@
 
 pub use bml_app as app;
 pub use bml_core as core;
+pub use bml_grid as grid;
 pub use bml_metrics as metrics;
 pub use bml_profiler as profiler;
 pub use bml_sim as sim;
@@ -38,6 +41,7 @@ pub use bml_trace as trace;
 pub mod prelude {
     pub use bml_app::{ApplicationSpec, BalancePolicy, Fleet, QosClass};
     pub use bml_core::prelude::*;
+    pub use bml_grid::{run_grid, GridOutcome, GridSpec};
     pub use bml_metrics::{EnergyMeter, ExperimentRecord, OverheadStats, Table};
     pub use bml_profiler::{paper_machines, profile_park, ProfilerConfig};
     pub use bml_sim::{run_comparison, ScenarioResult, SimConfig};

@@ -9,14 +9,119 @@
 //! thread per chunk with at most [`max_threads`] chunks is the right cost
 //! model and keeps this shim dependency-free.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Upper bound on worker threads: available parallelism, capped at 16.
+std::thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] on the
+    /// calling thread. `run_parallel` reads it on the caller, so the
+    /// override applies to every parallel map started inside `install`
+    /// (but not to maps started *from within* worker threads — the shim
+    /// has no nested parallelism to govern).
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Upper bound on worker threads: an [`ThreadPool::install`] override if
+/// one is active on this thread, otherwise available parallelism capped
+/// at 16.
 fn max_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(16)
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]. The shim cannot fail to
+/// build a pool; the type exists to mirror the upstream signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rayon shim: thread pool construction cannot fail")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`: only `num_threads` is
+/// supported (0 = the default worker cap, as upstream).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with the default worker cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` workers; 0 restores the default cap.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool (infallible in the shim).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A worker cap that parallel maps run under via [`ThreadPool::install`].
+///
+/// Unlike upstream there are no persistent pool threads: the shim spawns
+/// scoped workers per map, so the pool is just the cap to apply.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Restores the previous override even if `op` panics.
+struct OverrideGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker cap applied to every parallel map
+    /// it starts (`rayon::ThreadPool::install`).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let cap = if self.num_threads == 0 {
+            None
+        } else {
+            Some(self.num_threads)
+        };
+        let _guard = OverrideGuard {
+            prev: THREAD_OVERRIDE.with(|c| c.replace(cap)),
+        };
+        op()
+    }
+
+    /// The configured worker cap (the default cap when built with 0).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            self.install(max_threads)
+        } else {
+            self.num_threads
+        }
+    }
 }
 
 /// Run `a` and `b` concurrently and return both results (`rayon::join`).
@@ -203,5 +308,34 @@ mod tests {
     fn single_item_runs_inline() {
         let out: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn thread_pool_caps_workers_and_preserves_order() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let v: Vec<u64> = (0..50).collect();
+        let out: Vec<u64> = pool.install(|| v.par_iter().map(|&x| x * 3).collect());
+        assert_eq!(out, (0..50).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_pool_override_is_scoped_to_install() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let default = super::max_threads();
+        pool.install(|| assert_eq!(super::max_threads(), 2));
+        assert_eq!(super::max_threads(), default);
+    }
+
+    #[test]
+    fn zero_threads_means_default_cap() {
+        let pool = super::ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), super::max_threads());
     }
 }
