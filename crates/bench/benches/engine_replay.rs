@@ -1,20 +1,31 @@
 //! Replay-throughput bench: per-second vs event-driven stepping on a
 //! two-day synthetic trace with realistic plateau structure (5-minute
 //! constant-load blocks following a diurnal shape — the granularity of
-//! binned production traffic).
+//! binned production traffic), in three flavors:
+//!
+//! * **clean** — exact look-ahead-max prediction, no failures;
+//! * **noisy** — sigma-0.2 counter-based prediction noise (resampled
+//!   once per look-ahead window, like the grid's noisy cells);
+//! * **failures** — counter-based machine-crash injection (geometric
+//!   inter-failure gaps per machine slot).
+//!
+//! The noisy and failure flavors used to silently fall back to the
+//! per-second reference loop (sequential RNG draws); counter-based
+//! sampling keeps them on the event path, and this bench is the proof.
 //!
 //! The headline metric printed before the criterion timings is
-//! **simulated-seconds per wall-clock second** for each engine, plus the
-//! speedup ratio. The development acceptance floor on this trace is 5x
-//! the per-second reference (measured ~8-15x on dev hardware); CI parses
-//! the speedup line from this bench's output and fails below a
-//! conservative 3x floor, absorbing shared-runner timing noise.
+//! **simulated-seconds per wall-clock second** for each engine, plus one
+//! speedup ratio per flavor. The development acceptance floor on this
+//! trace is 5x the per-second reference for every flavor (measured
+//! ~8-15x clean on dev hardware); CI parses the speedup lines from this
+//! bench's output and fails below a conservative 3x floor, absorbing
+//! shared-runner timing noise.
 
 use std::time::Instant;
 
 use bml_core::bml::BmlInfrastructure;
 use bml_core::catalog;
-use bml_sim::{scenarios, SimConfig, Stepping};
+use bml_sim::{run_cell, CellConfig, FailureModel, ScenarioResult, SimConfig, Stepping};
 use bml_trace::LoadTrace;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -33,55 +44,92 @@ fn plateau_trace(days: u32) -> LoadTrace {
     LoadTrace::new(0, rates)
 }
 
+/// The three benched flavors: (label, cell template with stepping unset).
+fn flavors() -> [(&'static str, CellConfig); 3] {
+    let clean = CellConfig::from_sim(&SimConfig::default());
+    let noisy = CellConfig {
+        noise_sigma: 0.2,
+        noise_seed: 42,
+        ..clean.clone()
+    };
+    let failures = CellConfig {
+        // ~2 expected crashes per machine per simulated day.
+        failures: Some(FailureModel::new(43_200.0, 300, 7)),
+        ..clean.clone()
+    };
+    [("clean", clean), ("noisy", noisy), ("failures", failures)]
+}
+
+fn with_stepping(cell: &CellConfig, stepping: Stepping) -> CellConfig {
+    CellConfig {
+        stepping,
+        ..cell.clone()
+    }
+}
+
 fn bench_engine_replay(c: &mut Criterion) {
     let trace = plateau_trace(2);
     let bml = BmlInfrastructure::build(&catalog::table1()).unwrap();
-    let per_second = SimConfig {
-        stepping: Stepping::PerSecond,
-        ..Default::default()
-    };
-    let event_driven = SimConfig {
-        stepping: Stepping::EventDriven,
-        ..Default::default()
-    };
-
-    // Headline: simulated-seconds per wall-clock second, per engine.
-    // Best-of-5 (minimum wall time) so the CI-gated ratio is not at the
-    // mercy of a single OS-scheduling stall on a shared runner — the
-    // event-driven replay finishes in ~1 ms, where one-shot timing would
-    // be dominated by jitter.
     let sim_secs = trace.len() as f64;
-    let mut rates = [0.0f64; 2];
-    for (i, (name, cfg)) in [("per-second", &per_second), ("event-driven", &event_driven)]
-        .into_iter()
-        .enumerate()
-    {
-        let mut best_wall = f64::INFINITY;
-        for _ in 0..5 {
-            let started = Instant::now();
-            let r = scenarios::bml_proactive(&trace, &bml, cfg);
-            best_wall = best_wall.min(started.elapsed().as_secs_f64());
-            black_box(r);
+
+    // Headline: simulated-seconds per wall-clock second, per engine and
+    // flavor. Best-of-5 (minimum wall time) so the CI-gated ratios are
+    // not at the mercy of a single OS-scheduling stall on a shared
+    // runner — the event-driven replay finishes in ~1 ms, where one-shot
+    // timing would be dominated by jitter.
+    for (flavor, cell) in flavors() {
+        let mut rates = [0.0f64; 2];
+        for (i, stepping) in [Stepping::PerSecond, Stepping::EventDriven]
+            .into_iter()
+            .enumerate()
+        {
+            let cfg = with_stepping(&cell, stepping);
+            let mut best_wall = f64::INFINITY;
+            let mut result: Option<ScenarioResult> = None;
+            for _ in 0..5 {
+                let started = Instant::now();
+                let r = run_cell(&trace, &bml, &cfg);
+                best_wall = best_wall.min(started.elapsed().as_secs_f64());
+                result = Some(black_box(r));
+            }
+            let r = result.expect("five runs happened");
+            assert_eq!(
+                r.stepping_effective, stepping,
+                "engine_replay/{flavor}: requested {stepping:?} but ran \
+                 {:?} — a silent fallback would fake the speedup",
+                r.stepping_effective
+            );
+            rates[i] = sim_secs / best_wall;
+            let name = match stepping {
+                Stepping::PerSecond => "per-second",
+                Stepping::EventDriven => "event-driven",
+            };
+            println!(
+                "engine_replay/{flavor}/{name:<12} {:>12.0} simulated-s/wallclock-s  \
+                 ({:.0} sim-s in {:.4} s)",
+                rates[i], sim_secs, best_wall
+            );
         }
-        rates[i] = sim_secs / best_wall;
+        // CI greps these lines; keep the format in sync with ci.yml.
         println!(
-            "engine_replay/{name:<12} {:>12.0} simulated-s/wallclock-s  ({:.0} sim-s in {:.4} s)",
-            rates[i], sim_secs, best_wall
+            "engine_replay/{flavor} speedup: event-driven is {:.1}x the per-second engine",
+            rates[1] / rates[0]
         );
     }
-    println!(
-        "engine_replay speedup: event-driven is {:.1}x the per-second engine",
-        rates[1] / rates[0]
-    );
 
     let mut g = c.benchmark_group("engine_replay");
     g.sample_size(10);
-    g.bench_function("per_second_2day", |b| {
-        b.iter(|| scenarios::bml_proactive(black_box(&trace), black_box(&bml), &per_second))
-    });
-    g.bench_function("event_driven_2day", |b| {
-        b.iter(|| scenarios::bml_proactive(black_box(&trace), black_box(&bml), &event_driven))
-    });
+    for (flavor, cell) in flavors() {
+        for (suffix, stepping) in [
+            ("per_second", Stepping::PerSecond),
+            ("event_driven", Stepping::EventDriven),
+        ] {
+            let cfg = with_stepping(&cell, stepping);
+            g.bench_function(format!("{flavor}_{suffix}_2day"), |b| {
+                b.iter(|| run_cell(black_box(&trace), black_box(&bml), &cfg))
+            });
+        }
+    }
     g.finish();
 }
 

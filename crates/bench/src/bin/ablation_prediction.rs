@@ -38,9 +38,8 @@ fn main() {
         sigmas.len(),
         days
     );
-    // Noisy (sigma > 0) runs force the per-second reference loop — their
-    // per-call RNG cannot be segmented; the sigma=0 baseline runs the
-    // clean predictor and honors this stepping choice.
+    // Noise is counter-based and resampled once per look-ahead window,
+    // so every sigma honors this stepping choice — noisy runs included.
     let config = SimConfig {
         stepping: args.stepping_or_default(),
         ..Default::default()

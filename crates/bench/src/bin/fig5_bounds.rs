@@ -121,6 +121,10 @@ fn main() {
             .scenarios()
             .iter()
             .map(|s| {
+                let effective = match s.stepping_effective {
+                    bml_sim::Stepping::PerSecond => "per-second",
+                    bml_sim::Stepping::EventDriven => "event",
+                };
                 json::Object::new()
                     .str("name", &s.name)
                     .num("total_energy_j", s.total_energy_j)
@@ -129,6 +133,7 @@ fn main() {
                     .int("reconfigurations", s.reconfigurations)
                     .int("nodes_switched_on", s.nodes_switched_on)
                     .num("qos_shortfall", s.qos.shortfall_fraction())
+                    .str("stepping_effective", effective)
             })
             .collect();
         let summary = json::Object::new()

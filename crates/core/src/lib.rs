@@ -61,6 +61,7 @@ pub mod crossing;
 pub mod errors;
 pub mod profile;
 pub mod reconfig;
+pub mod rng;
 pub mod scheduler;
 pub mod table;
 pub mod transition_aware;

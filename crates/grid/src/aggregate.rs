@@ -137,6 +137,7 @@ mod tests {
                         nodes_switched_off: 0,
                         reconfig_energy_j: 0.0,
                         instance_migrations: 0,
+                        stepping_effective: Stepping::EventDriven,
                     },
                 }
             })

@@ -1,10 +1,10 @@
 //! Versioned grid artifacts: `BENCH_grid.json` and `BENCH_grid.csv`.
 //!
-//! # Schema (`bml-grid/v1`)
+//! # Schema (`bml-grid/v2`)
 //!
 //! ```text
 //! {
-//!   "schema":   "bml-grid/v1",
+//!   "schema":   "bml-grid/v2",
 //!   "name":     <spec name>,
 //!   "root_seed": <u64>,
 //!   "n_cells":  <usize>,
@@ -15,7 +15,8 @@
 //!                "violation_seconds", "worst_shortfall",
 //!                "reconfigurations", "nodes_switched_on",
 //!                "nodes_switched_off", "reconfig_energy_j",
-//!                "instance_migrations" }, ... ],                // enumeration order
+//!                "instance_migrations",
+//!                "stepping_effective" }, ... ],                 // enumeration order
 //!   "best_by_dimension": [ { "dimension", "value", "cell",
 //!                            "total_energy_j", "qos_shortfall" }, ... ],
 //!   "pareto_energy_vs_qos": [ <cell index>, ... ]               // ascending energy
@@ -37,8 +38,11 @@ use crate::executor::GridOutcome;
 use crate::json::Object;
 use crate::spec::DIMENSIONS;
 
-/// Current artifact schema identifier.
-pub const SCHEMA: &str = "bml-grid/v1";
+/// Current artifact schema identifier. v2 added `stepping_effective`
+/// (the loop the engine actually ran — counter-based sampling keeps
+/// noisy and failure cells on the event path, and consumers gate on no
+/// silent fallback); cell seeds and all v1 fields are unchanged.
+pub const SCHEMA: &str = "bml-grid/v2";
 
 /// JSON artifact file name.
 pub const JSON_NAME: &str = "BENCH_grid.json";
@@ -77,6 +81,10 @@ pub fn render_json(out: &GridOutcome) -> String {
                 .int("nodes_switched_off", s.nodes_switched_off)
                 .num("reconfig_energy_j", s.reconfig_energy_j)
                 .int("instance_migrations", s.instance_migrations)
+                .str(
+                    "stepping_effective",
+                    crate::spec::stepping_label(s.stepping_effective),
+                )
         })
         .collect();
     let bests = per_dimension_bests(out)
@@ -107,7 +115,7 @@ pub fn render_json(out: &GridOutcome) -> String {
 const CSV_HEADER: &str = "index,seed,trace,catalog,scheduler,window,noise_sigma,split,stepping,\
                           total_energy_j,mean_power_w,qos_shortfall,violation_seconds,\
                           worst_shortfall,reconfigurations,nodes_switched_on,nodes_switched_off,\
-                          reconfig_energy_j,instance_migrations";
+                          reconfig_energy_j,instance_migrations,stepping_effective";
 
 /// RFC-4180 field quoting: labels are free-form (custom catalog names may
 /// hold commas or quotes), so any field containing a delimiter, quote or
@@ -127,7 +135,7 @@ pub fn render_csv(out: &GridOutcome) -> String {
     for c in &out.cells {
         let m = &c.summary;
         s.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             c.coords.index,
             c.coords.seed,
             csv_field(&c.labels[0]),
@@ -147,6 +155,7 @@ pub fn render_csv(out: &GridOutcome) -> String {
             m.nodes_switched_off,
             m.reconfig_energy_j,
             m.instance_migrations,
+            crate::spec::stepping_label(m.stepping_effective),
         ));
     }
     s
@@ -195,7 +204,7 @@ mod tests {
     fn json_has_schema_and_every_cell() {
         let out = outcome();
         let j = render_json(&out);
-        assert!(j.starts_with("{\"schema\":\"bml-grid/v1\""));
+        assert!(j.starts_with("{\"schema\":\"bml-grid/v2\""));
         assert!(j.contains("\"name\":\"artifact-unit\""));
         assert!(j.contains("\"n_cells\":2"));
         assert!(j.contains("\"pareto_energy_vs_qos\":["));
@@ -232,6 +241,21 @@ mod tests {
             "label not quoted: {row}"
         );
         assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn artifact_records_effective_stepping() {
+        let out = outcome();
+        let j = render_json(&out);
+        assert_eq!(
+            j.matches("\"stepping_effective\":\"event\"").count(),
+            out.cells.len(),
+            "every event-requested cell must report the event path: {j}"
+        );
+        let csv = render_csv(&out);
+        for row in csv.lines().skip(1) {
+            assert!(row.ends_with(",event"), "unexpected fallback row: {row}");
+        }
     }
 
     #[test]

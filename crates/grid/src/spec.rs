@@ -253,16 +253,14 @@ pub struct CellCoords {
     pub stepping: usize,
 }
 
-/// The splitmix64 mixing function (Steele, Lea & Flood 2014): the
-/// standard way to expand one root seed into a stream of decorrelated
-/// per-cell seeds. Pure, so cell seeds never depend on execution order or
-/// thread count.
-pub fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// The splitmix64 mixing function used to expand one root seed into a
+/// stream of decorrelated per-cell seeds. Now lives in
+/// [`bml_core::rng`] so the engine's counter-based samplers share the
+/// exact construction; re-exported here because grid specs and artifacts
+/// have always documented it at this path. The derivation
+/// `splitmix64(root_seed ^ splitmix64(scenario))` is byte-identical to
+/// every bml-grid/v1 artifact ever emitted.
+pub use bml_core::rng::splitmix64;
 
 impl GridSpec {
     /// Number of cells in the cross-product.

@@ -190,9 +190,12 @@ impl<'a> Cluster<'a> {
     /// serving until the slowest boot completes and only then start their
     /// shutdown; a pure scale-down begins shutting down immediately.
     ///
-    /// Panics if a switch-off asks for more machines than are online —
-    /// the scheduler's lock-out makes that impossible in a well-formed
-    /// simulation.
+    /// A switch-off is clamped to the machines actually available
+    /// (online minus those already retiring): the scheduler plans against
+    /// its *believed* configuration, and a machine that crashed since —
+    /// it is dark in repair, not serving — cannot be switched off again.
+    /// Without failure injection the scheduler's lock-out makes the clamp
+    /// a no-op.
     pub fn apply(&mut self, plan: &ReconfigPlan, now: u64) {
         let boot_complete = now
             + plan
@@ -203,13 +206,10 @@ impl<'a> Cluster<'a> {
                 .unwrap_or(0);
         for &(k, n) in &plan.switch_off {
             let pool = &mut self.pools[k];
-            assert!(
-                pool.online >= pool.retiring_count() + n,
-                "switch-off of {n} {} machines but only {} online ({} already retiring)",
-                self.profiles[k].name,
-                pool.online,
-                pool.retiring_count()
-            );
+            let n = n.min(pool.online - pool.retiring_count());
+            if n == 0 {
+                continue;
+            }
             if boot_complete <= now {
                 pool.online -= n;
                 let until = now + self.profiles[k].off_duration.ceil() as u64;
@@ -439,11 +439,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "switch-off")]
-    fn switching_off_more_than_online_panics() {
+    fn switching_off_more_than_online_clamps_to_available() {
+        // The scheduler plans against its believed configuration; crashed
+        // machines are dark in repair and cannot be switched off again.
         let profiles = trio();
         let mut c = Cluster::new(&profiles, SplitPolicy::EfficiencyGreedy);
         c.apply(&plan(&[2, 0, 0], &[0, 0, 0]), 0);
+        assert_eq!(c.online_counts(), vec![0, 0, 0]);
+        assert_eq!(c.pools()[0].shutting_count(), 0, "nothing was online");
     }
 
     #[test]

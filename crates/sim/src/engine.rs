@@ -22,11 +22,16 @@
 //! maturity epochs. So instead of ticking 86 400 times per simulated day,
 //! the event-driven loop jumps `now` directly to the next *event*:
 //!
-//! * a **prediction change-point** ([`bml_trace::Predictor::next_change`]),
+//! * a **prediction change-point** ([`bml_trace::Predictor::next_change`]
+//!   — for a noisy predictor this includes its noise-resample points),
 //! * a **transition maturity epoch** — boot completion, handover,
-//!   shutdown completion ([`Cluster::next_transition_event`]),
+//!   shutdown completion, repair expiry
+//!   ([`Cluster::next_transition_event`]),
 //! * the **reconfiguration unlock** instant (the schedulers'
 //!   `next_wakeup` hint),
+//! * the next **failure epoch** of any online machine slot
+//!   ([`FailureModel`] — counter-based, so the epoch is known without
+//!   replaying the seconds before it),
 //!
 //! and batches the power/QoS accounting of the skipped stretch over the
 //! maximal runs of constant raw load inside it
@@ -35,18 +40,24 @@
 //! A 378 s flat stretch costs one update instead of 378. Both modes are
 //! property-tested to produce the same daily energies, QoS counters and
 //! reconfiguration log (energies agree to float-accumulation rounding,
-//! everything discrete exactly).
+//! everything discrete exactly) — including noisy and failure-injected
+//! runs, whose samples are pure functions of `(seed, counter)`
+//! ([`bml_core::rng`]) and therefore identical no matter how time is
+//! stepped.
 //!
 //! # When per-second mode is still required
 //!
 //! The event-driven engine silently falls back to the per-second loop
-//! when the run cannot be segmented:
-//!
-//! * the predictor is not piecewise-constant with known change-points
-//!   (`Predictor::is_segmented() == false` — EWMA, last-value, and any
-//!   noise-injecting wrapper, whose RNG must be drawn once per second);
-//! * a [`FailureModel`] is configured — crashes are sampled per machine
-//!   per second, so skipping seconds would change the failure trajectory.
+//! only when the predictor itself cannot be segmented:
+//! `Predictor::is_segmented() == false` — EWMA and last-value, which
+//! genuinely depend on observing every second. Prediction noise and
+//! failure injection no longer force a fallback: both sample from the
+//! counter-based PRF streams of [`bml_core::rng`] (noise keyed on
+//! `(seed, resample_window)`, failure gaps keyed on
+//! `(seed, arch, slot, failure_index)`), so skipping seconds cannot
+//! change any draw. The chosen loop is reported in
+//! [`ScenarioResult::stepping_effective`], which benches, grid artifacts
+//! and the CI gates assert on — no silent fallback can creep back in.
 //!
 //! The per-second ideal-combination queries (the scheduler's no-change
 //! test and the target configuration) are served by the infrastructure's
@@ -83,12 +94,13 @@ pub enum SchedulerKind {
 pub enum Stepping {
     /// Tick every simulated second — the reference implementation.
     PerSecond,
-    /// Jump between events (prediction change-points, transition
-    /// maturities, reconfiguration unlocks) and batch the accounting of
-    /// the constant stretches in between. Result-identical to
-    /// [`Stepping::PerSecond`] up to float-accumulation rounding; falls
-    /// back to it automatically for non-segmented predictors or when a
-    /// failure model is configured (see the module docs).
+    /// Jump between events (prediction change-points including
+    /// noise-resample points, transition maturities, reconfiguration
+    /// unlocks, failure epochs) and batch the accounting of the constant
+    /// stretches in between. Result-identical to [`Stepping::PerSecond`]
+    /// up to float-accumulation rounding; falls back to it automatically
+    /// for non-segmented predictors (EWMA, last-value — see the module
+    /// docs).
     #[default]
     EventDriven,
 }
@@ -142,7 +154,7 @@ pub struct SimConfig {
     pub app: Option<ApplicationSpec>,
     /// Scheduler implementation.
     pub scheduler: SchedulerKind,
-    /// Optional machine-crash injection (forces per-second stepping).
+    /// Optional machine-crash injection (counter-based, event-drivable).
     pub failures: Option<FailureModel>,
     /// Time-stepping mode; see [`Stepping`].
     pub stepping: Stepping,
@@ -162,9 +174,22 @@ impl Default for SimConfig {
     }
 }
 
-/// Random machine-crash model: every online machine fails independently
-/// with rate `1 / mtbf_s` per second; a crashed machine is dark for
-/// `repair_s` seconds and then reboots (normal boot time and energy).
+/// Random machine-crash model: online machines fail with rate
+/// `1 / mtbf_s` per second; a crashed machine is dark for `repair_s`
+/// seconds and then reboots (normal boot time and energy).
+///
+/// Sampling is **counter-based**: each architecture `k` owns a row of
+/// machine *slots* (slot `j` stands for the `j`-th currently-online
+/// machine — the cluster tracks counts, not identities), and slot `j`
+/// draws its candidate crash times from time 0 as a running sum of
+/// geometric inter-failure gaps, gap `i` keyed on the PRF stream
+/// `mix(mix(mix(seed, k), j), i)` ([`bml_core::rng`]). A candidate at
+/// second `t` fires iff slot `j` is online (`j < online(k)` at `t`) and
+/// is silently missed otherwise. Because every draw is a pure function of
+/// `(seed, k, j, i)` and online counts only change at events, the whole
+/// failure trajectory is identical under per-second and event-driven
+/// stepping — the event loop jumps straight to the next eligible
+/// candidate instead of flipping a coin 86 400 times per machine-day.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailureModel {
     /// Mean time between failures of one machine (s).
@@ -173,6 +198,127 @@ pub struct FailureModel {
     pub repair_s: u64,
     /// RNG seed (failures are deterministic given the seed).
     pub seed: u64,
+}
+
+impl FailureModel {
+    /// The one way to spell a failure model: mean time between failures,
+    /// repair delay, seed.
+    pub fn new(mtbf_s: f64, repair_s: u64, seed: u64) -> Self {
+        FailureModel {
+            mtbf_s,
+            repair_s,
+            seed,
+        }
+    }
+}
+
+/// One slot's position in its candidate-crash-time sequence.
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    /// Next candidate crash second (absolute simulation time).
+    next_time: u64,
+    /// Index of the *next* geometric gap to draw (gaps consumed so far).
+    index: u64,
+}
+
+/// One geometric inter-failure gap: gap `i` of slot `j` of architecture
+/// `k`, a pure function of its key — never of how many samples any other
+/// slot drew.
+fn slot_gap(p: f64, seed: u64, k: u64, j: u64, i: u64) -> u64 {
+    use bml_core::rng::{geometric_gap, mix};
+    geometric_gap(p, mix(mix(mix(seed, k), j), i))
+}
+
+/// Counter-based failure sampler shared by both stepping loops (see
+/// [`FailureModel`] for the sampling law).
+struct FailureSampler {
+    p: f64,
+    repair_s: u64,
+    seed: u64,
+    /// Per-architecture slot rows, grown lazily to the peak online count.
+    slots: Vec<Vec<SlotState>>,
+}
+
+impl FailureSampler {
+    /// `None` when the model can never fire (`p == 0`): no sampler, no
+    /// failure events.
+    fn new(model: &FailureModel, n_archs: usize) -> Option<Self> {
+        let p = (1.0 / model.mtbf_s).clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return None;
+        }
+        Some(FailureSampler {
+            p,
+            repair_s: model.repair_s,
+            seed: model.seed,
+            slots: vec![Vec::new(); n_archs],
+        })
+    }
+
+    /// Bring every slot up to date with `now` and fire the crashes due
+    /// this very second. Candidates strictly before `now` are misses:
+    /// either their slot was offline at the time, or (event-driven mode)
+    /// the candidate fell inside a skipped span *because* its slot was
+    /// offline — eligible candidates bound the span via
+    /// [`FailureSampler::next_event`], so they are never skipped.
+    /// Returns the number of machines crashed at `now`.
+    fn sync(&mut self, cluster: &mut Cluster<'_>, now: u64) -> u64 {
+        let (p, seed) = (self.p, self.seed);
+        let mut injected = 0u64;
+        for k in 0..self.slots.len() {
+            // Newly visible slots (online count reached a new peak) start
+            // their sequence at absolute time 0 and skip the candidates
+            // from before they were online.
+            let online = cluster.pools()[k].online as usize;
+            while self.slots[k].len() < online {
+                let j = self.slots[k].len() as u64;
+                let mut s = SlotState {
+                    next_time: slot_gap(p, seed, k as u64, j, 0) - 1,
+                    index: 1,
+                };
+                while s.next_time < now {
+                    s.next_time += slot_gap(p, seed, k as u64, j, s.index);
+                    s.index += 1;
+                }
+                self.slots[k].push(s);
+            }
+            for j in 0..self.slots[k].len() {
+                let slot = &mut self.slots[k][j];
+                while slot.next_time < now {
+                    slot.next_time += slot_gap(p, seed, k as u64, j as u64, slot.index);
+                    slot.index += 1;
+                }
+                if slot.next_time == now {
+                    // Eligibility is re-read per slot: an earlier crash
+                    // this same second shrinks `online` for later slots,
+                    // identically in both stepping loops.
+                    if j < cluster.pools()[k].online as usize
+                        && cluster.fail_one(k, now, self.repair_s)
+                    {
+                        injected += 1;
+                    }
+                    slot.next_time += slot_gap(p, seed, k as u64, j as u64, slot.index);
+                    slot.index += 1;
+                }
+            }
+        }
+        injected
+    }
+
+    /// The earliest candidate crash time over the slots that are online
+    /// *right now* — a valid span bound because the online set only
+    /// changes at events, so no offline slot can become eligible before
+    /// the span ends.
+    fn next_event(&self, cluster: &Cluster<'_>) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        for (k, row) in self.slots.iter().enumerate() {
+            let online = cluster.pools()[k].online as usize;
+            for slot in row.iter().take(online) {
+                next = Some(next.map_or(slot.next_time, |n: u64| n.min(slot.next_time)));
+            }
+        }
+        next
+    }
 }
 
 /// One reconfiguration launched during a run.
@@ -209,6 +355,12 @@ pub struct ScenarioResult {
     pub instance_migrations: u64,
     /// Machine crashes injected by the failure model.
     pub failures_injected: u64,
+    /// The stepping loop that actually ran: [`Stepping::EventDriven`]
+    /// requests fall back to [`Stepping::PerSecond`] for non-segmented
+    /// predictors (see the module docs), and this field records the
+    /// outcome so benches, grid artifacts and CI can assert no silent
+    /// fallback remains.
+    pub stepping_effective: Stepping,
     /// Every reconfiguration launched, in decision order — the replay's
     /// audit trail, and what the stepping-equivalence property pins.
     pub reconfig_log: Vec<ReconfigRecord>,
@@ -240,6 +392,9 @@ pub struct CellSummary {
     pub reconfig_energy_j: f64,
     /// Stop+start instance migrations.
     pub instance_migrations: u64,
+    /// The stepping loop that actually ran (fallback audit; see
+    /// [`ScenarioResult::stepping_effective`]).
+    pub stepping_effective: Stepping,
 }
 
 impl ScenarioResult {
@@ -256,6 +411,7 @@ impl ScenarioResult {
             nodes_switched_off: self.nodes_switched_off,
             reconfig_energy_j: self.reconfig_energy_j,
             instance_migrations: self.instance_migrations,
+            stepping_effective: self.stepping_effective,
         }
     }
 
@@ -396,9 +552,7 @@ pub fn simulate_bml(
         .window
         .unwrap_or_else(|| paper_window_length(bml.candidates()));
     let _ = window; // the window is baked into the predictor; kept for reports
-    let use_events = config.stepping == Stepping::EventDriven
-        && config.failures.is_none()
-        && predictor.is_segmented();
+    let use_events = config.stepping == Stepping::EventDriven && predictor.is_segmented();
     if use_events {
         simulate_event_driven(trace, bml, predictor, config)
     } else {
@@ -414,6 +568,7 @@ struct EngineState<'a> {
     meter: EnergyMeter,
     qos: QosReport,
     migrations: u64,
+    failures: Option<FailureSampler>,
     failures_injected: u64,
     reconfig_log: Vec<ReconfigRecord>,
     /// Reused online-counts buffer for the per-step power query.
@@ -443,6 +598,10 @@ impl<'a> EngineState<'a> {
             meter: EnergyMeter::new(),
             qos: QosReport::default(),
             migrations: 0,
+            failures: config
+                .failures
+                .as_ref()
+                .and_then(|m| FailureSampler::new(m, n)),
             failures_injected: 0,
             reconfig_log: Vec::new(),
             counts_scratch: Vec::with_capacity(n),
@@ -486,7 +645,24 @@ impl<'a> EngineState<'a> {
         }
     }
 
-    fn finish(self) -> ScenarioResult {
+    /// Crash the machines whose candidate time is `now` (no-op without a
+    /// failure model). Called right after `Cluster::tick` in **both**
+    /// stepping loops; since every sample is a pure function of its key,
+    /// both loops see the same failure trajectory.
+    fn sync_failures(&mut self, now: u64) {
+        if let Some(f) = self.failures.as_mut() {
+            self.failures_injected += f.sync(&mut self.cluster, now);
+        }
+    }
+
+    /// The next candidate crash time of any currently-online slot.
+    fn next_failure_event(&self) -> Option<u64> {
+        self.failures
+            .as_ref()
+            .and_then(|f| f.next_event(&self.cluster))
+    }
+
+    fn finish(self, stepping_effective: Stepping) -> ScenarioResult {
         let stats = self.sched.stats();
         ScenarioResult {
             name: "Big-Medium-Little".into(),
@@ -499,6 +675,7 @@ impl<'a> EngineState<'a> {
             reconfig_energy_j: stats.reconfig_energy,
             instance_migrations: self.migrations,
             failures_injected: self.failures_injected,
+            stepping_effective,
             reconfig_log: self.reconfig_log,
             daily_energy_j: self.meter.into_daily_joules(),
         }
@@ -513,16 +690,10 @@ fn simulate_per_second(
     config: &SimConfig,
 ) -> ScenarioResult {
     let mut st = EngineState::new(bml, predictor, config);
-    let mut failure_rng = config
-        .failures
-        .as_ref()
-        .map(|f| rand::SeedableRng::seed_from_u64(f.seed));
 
     for t in 0..trace.len() {
         st.cluster.tick(t);
-        if let (Some(model), Some(rng)) = (&config.failures, failure_rng.as_mut()) {
-            st.failures_injected += inject_failures(&mut st.cluster, model, t, rng);
-        }
+        st.sync_failures(t);
         let prediction = if st.sched.is_locked(t) {
             0.0 // ignored; decide() returns Locked without reading it
         } else {
@@ -534,7 +705,7 @@ fn simulate_per_second(
         st.meter.record(power);
         st.qos.record(load, served);
     }
-    st.finish()
+    st.finish(Stepping::PerSecond)
 }
 
 /// The skip-ahead loop: jump straight to the next event and batch the
@@ -546,12 +717,13 @@ fn simulate_event_driven(
     predictor: &mut dyn Predictor,
     config: &SimConfig,
 ) -> ScenarioResult {
-    debug_assert!(predictor.is_segmented() && config.failures.is_none());
+    debug_assert!(predictor.is_segmented());
     let mut st = EngineState::new(bml, predictor, config);
     let n = trace.len();
     let mut now = 0u64;
     while now < n {
         st.cluster.tick(now);
+        st.sync_failures(now);
         let prediction = if st.sched.is_locked(now) {
             0.0 // ignored; decide() returns Locked without reading it
         } else {
@@ -573,6 +745,9 @@ fn simulate_event_driven(
         if let Some(t) = st.sched.next_wakeup(now) {
             next = next.min(t);
         }
+        if let Some(t) = st.next_failure_event() {
+            next = next.min(t);
+        }
         let next = next.clamp(now + 1, n);
 
         // Batched accounting over [now, next): the cluster state is
@@ -589,32 +764,7 @@ fn simulate_event_driven(
         }
         now = next;
     }
-    st.finish()
-}
-
-/// Sample this second's machine crashes: each online machine of each
-/// architecture dies independently with probability `1 / mtbf_s`.
-fn inject_failures(
-    cluster: &mut Cluster<'_>,
-    model: &FailureModel,
-    now: u64,
-    rng: &mut rand::rngs::StdRng,
-) -> u64 {
-    use rand::Rng;
-    let p = (1.0 / model.mtbf_s).clamp(0.0, 1.0);
-    if p <= 0.0 {
-        return 0;
-    }
-    let mut injected = 0u64;
-    for k in 0..cluster.profiles().len() {
-        let online = cluster.pools()[k].online;
-        for _ in 0..online {
-            if rng.gen_bool(p) && cluster.fail_one(k, now, model.repair_s) {
-                injected += 1;
-            }
-        }
-    }
-    injected
+    st.finish(Stepping::EventDriven)
 }
 
 #[cfg(test)]
@@ -770,11 +920,8 @@ mod tests {
         let r = run(
             &trace,
             &SimConfig {
-                failures: Some(FailureModel {
-                    mtbf_s: 500.0, // aggressive: ~8 crashes per machine over the run
-                    repair_s: 30,
-                    seed: 7,
-                }),
+                // Aggressive: ~8 crashes per machine over the run.
+                failures: Some(FailureModel::new(500.0, 30, 7)),
                 ..Default::default()
             },
         );
@@ -793,11 +940,7 @@ mod tests {
     fn failure_injection_is_deterministic() {
         let trace = synthetic::constant(200.0, 2_000);
         let cfg = SimConfig {
-            failures: Some(FailureModel {
-                mtbf_s: 300.0,
-                repair_s: 10,
-                seed: 42,
-            }),
+            failures: Some(FailureModel::new(300.0, 10, 42)),
             ..Default::default()
         };
         let a = run(&trace, &cfg);
@@ -807,33 +950,102 @@ mod tests {
     }
 
     #[test]
-    fn failure_model_forces_per_second_fallback() {
-        // Event-driven stepping with a failure model must produce exactly
-        // the per-second result (it falls back to the same loop, same RNG
-        // stream).
+    fn failure_model_takes_event_path() {
+        // Failure injection used to force the per-second fallback; with
+        // counter-based gap sampling the event loop handles it and must
+        // reproduce the reference trajectory.
         let trace = synthetic::constant(150.0, 1_500);
-        let failures = Some(FailureModel {
-            mtbf_s: 400.0,
-            repair_s: 20,
-            seed: 5,
-        });
+        let cfg = SimConfig {
+            failures: Some(FailureModel::new(400.0, 20, 5)),
+            ..Default::default()
+        };
         let event = run(
             &trace,
             &SimConfig {
-                failures: failures.clone(),
                 stepping: Stepping::EventDriven,
-                ..Default::default()
+                ..cfg.clone()
             },
         );
+        assert_eq!(event.stepping_effective, Stepping::EventDriven);
+        assert!(event.failures_injected > 0, "model must actually fire");
         let per_second = run(
             &trace,
             &SimConfig {
-                failures,
                 stepping: Stepping::PerSecond,
-                ..Default::default()
+                ..cfg
             },
         );
-        assert_eq!(event, per_second);
+        assert_eq!(per_second.stepping_effective, Stepping::PerSecond);
+        per_second
+            .check_replay_equivalent(&event, 1e-9)
+            .unwrap_or_else(|e| panic!("failure-injected steppings diverged: {e}"));
+    }
+
+    #[test]
+    fn noisy_predictor_takes_event_path() {
+        use bml_trace::NoisyPredictor;
+        let trace = synthetic::diurnal(5.0, 900.0, 4.0, 1);
+        let bml = bml();
+        let run_mode = |stepping| {
+            let mut p = NoisyPredictor::new(LookaheadMaxPredictor::new(&trace, 378), 0.2, 99);
+            simulate_bml(
+                &trace,
+                &bml,
+                &mut p,
+                &SimConfig {
+                    stepping,
+                    ..Default::default()
+                },
+            )
+        };
+        let event = run_mode(Stepping::EventDriven);
+        assert_eq!(event.stepping_effective, Stepping::EventDriven);
+        let per_second = run_mode(Stepping::PerSecond);
+        per_second
+            .check_replay_equivalent(&event, 1e-9)
+            .unwrap_or_else(|e| panic!("noisy steppings diverged: {e}"));
+    }
+
+    #[test]
+    fn steppings_agree_with_noise_and_failures_combined() {
+        // Both new event sources active at once: noise-resample points
+        // and failure epochs interleave with the usual change-points.
+        use bml_trace::NoisyPredictor;
+        let mut rates = vec![80.0; 900];
+        rates.extend(vec![1_100.0; 900]);
+        rates.extend(vec![10.0; 900]);
+        let trace = LoadTrace::new(0, rates);
+        let bml = bml();
+        let run_mode = |stepping| {
+            let mut p = NoisyPredictor::new(LookaheadMaxPredictor::new(&trace, 378), 0.15, 13);
+            simulate_bml(
+                &trace,
+                &bml,
+                &mut p,
+                &SimConfig {
+                    failures: Some(FailureModel::new(600.0, 25, 3)),
+                    stepping,
+                    ..Default::default()
+                },
+            )
+        };
+        let event = run_mode(Stepping::EventDriven);
+        assert_eq!(event.stepping_effective, Stepping::EventDriven);
+        let per_second = run_mode(Stepping::PerSecond);
+        per_second
+            .check_replay_equivalent(&event, 1e-9)
+            .unwrap_or_else(|e| panic!("noisy+failure steppings diverged: {e}"));
+    }
+
+    #[test]
+    fn unsegmented_predictor_still_falls_back() {
+        // EWMA genuinely depends on observing every second: the recorded
+        // effective stepping must expose the fallback.
+        let trace = synthetic::constant(100.0, 500);
+        let bml = bml();
+        let mut p = bml_trace::EwmaPredictor::new(&trace, 0.5);
+        let r = simulate_bml(&trace, &bml, &mut p, &SimConfig::default());
+        assert_eq!(r.stepping_effective, Stepping::PerSecond);
     }
 
     #[test]

@@ -46,8 +46,7 @@ pub struct CellConfig {
     pub cold_start: bool,
     /// Application spec for migration accounting (`None` disables it).
     pub app: Option<ApplicationSpec>,
-    /// Optional machine-crash injection (forces per-second stepping, as
-    /// always).
+    /// Optional machine-crash injection (counter-based, event-drivable).
     pub failures: Option<FailureModel>,
 }
 
@@ -101,9 +100,10 @@ pub struct CellJob<'a> {
 /// at sigma 0 or noise-injected prediction otherwise.
 ///
 /// At sigma 0 this is exactly [`crate::scenarios::bml_proactive`]; with
-/// noise it matches what `sweep_prediction_noise` has always done — the
-/// noisy wrapper's per-call RNG forces the per-second reference engine,
-/// while the sigma-0 cell honors the requested stepping.
+/// noise the wrapper's counter-based error factor resamples once per
+/// look-ahead window (`mix(noise_seed, window_index)`, see
+/// [`bml_core::rng`]), so noisy cells honor the requested stepping just
+/// like clean ones.
 pub fn run_cell(trace: &LoadTrace, bml: &BmlInfrastructure, cell: &CellConfig) -> ScenarioResult {
     let config = cell.sim_config();
     let window = cell
@@ -113,7 +113,8 @@ pub fn run_cell(trace: &LoadTrace, bml: &BmlInfrastructure, cell: &CellConfig) -
     if cell.noise_sigma == 0.0 {
         simulate_bml(trace, bml, &mut inner, &config)
     } else {
-        let mut predictor = NoisyPredictor::new(inner, cell.noise_sigma, cell.noise_seed);
+        let mut predictor =
+            NoisyPredictor::with_resample(inner, cell.noise_sigma, cell.noise_seed, window);
         simulate_bml(trace, bml, &mut predictor, &config)
     }
 }
@@ -184,6 +185,8 @@ mod tests {
         let a = run_cell(&trace, &bml, &cell);
         let b = run_cell(&trace, &bml, &cell);
         assert_eq!(a, b);
+        // Counter-based noise keeps the cell on the requested fast path.
+        assert_eq!(a.stepping_effective, Stepping::EventDriven);
         let other_seed = run_cell(
             &trace,
             &bml,
@@ -203,11 +206,7 @@ mod tests {
         let trace = step_trace(&[150.0], 3_000);
         let bml = bml();
         let base = SimConfig {
-            failures: Some(crate::engine::FailureModel {
-                mtbf_s: 400.0,
-                repair_s: 20,
-                seed: 5,
-            }),
+            failures: Some(FailureModel::new(400.0, 20, 5)),
             ..Default::default()
         };
         let via_cell = run_cell(&trace, &bml, &CellConfig::from_sim(&base));

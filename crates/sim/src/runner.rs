@@ -128,10 +128,9 @@ pub fn sweep_window(
 /// on reconfiguration decisions. Each sigma injects relative gaussian
 /// error into the look-ahead-max prediction.
 ///
-/// Noisy predictors draw their RNG once per consulted second, so these
-/// runs always execute on the per-second reference engine regardless of
-/// `base.stepping` (the engine detects the non-segmented predictor and
-/// falls back).
+/// Noise is counter-based and resampled once per look-ahead window
+/// ([`bml_core::rng`]), so noisy runs honor `base.stepping` — including
+/// the event-driven fast path — exactly like clean ones.
 pub fn sweep_prediction_noise(
     trace: &LoadTrace,
     bml: &BmlInfrastructure,

@@ -18,7 +18,7 @@ use bml_core::profile::ArchProfile;
 use bml_metrics::EnergyMeter;
 use bml_trace::{LoadTrace, LookaheadMaxPredictor};
 
-use crate::engine::{simulate_bml, ScenarioResult, SimConfig};
+use crate::engine::{simulate_bml, ScenarioResult, SimConfig, Stepping};
 use crate::qos::QosReport;
 
 /// Machines needed to cover `rate` with nodes of capacity `max_perf`.
@@ -64,6 +64,8 @@ fn homogeneous_scenario(
         reconfig_energy_j: 0.0,
         instance_migrations: 0,
         failures_injected: 0,
+        // Analytic replays batch over constant-load runs by construction.
+        stepping_effective: Stepping::EventDriven,
         reconfig_log: Vec::new(),
         daily_energy_j: meter.into_daily_joules(),
     }
@@ -139,6 +141,8 @@ pub fn lower_bound_theoretical(
         reconfig_energy_j: 0.0,
         instance_migrations: 0,
         failures_injected: 0,
+        // Analytic replays batch over constant-load runs by construction.
+        stepping_effective: Stepping::EventDriven,
         reconfig_log: Vec::new(),
         daily_energy_j: meter.into_daily_joules(),
     }

@@ -6,10 +6,10 @@ use bml_core::catalog;
 use bml_core::combination::SplitPolicy;
 use bml_core::profile::ArchProfile;
 use bml_core::transition_aware::TransitionAwareConfig;
-use bml_sim::engine::{simulate_bml, SchedulerKind, SimConfig, Stepping};
+use bml_sim::engine::{simulate_bml, FailureModel, SchedulerKind, SimConfig, Stepping};
 use bml_sim::runner::run_comparison;
 use bml_sim::scenarios;
-use bml_trace::{LoadTrace, LookaheadMaxPredictor};
+use bml_trace::{LoadTrace, LookaheadMaxPredictor, NoisyPredictor};
 use proptest::prelude::*;
 
 fn bml() -> BmlInfrastructure {
@@ -139,7 +139,11 @@ proptest! {
     /// result-identical to the per-second reference engine — same daily
     /// energies (to float-accumulation rounding), same QoS report, same
     /// reconfiguration log — over arbitrary catalogs, traces, look-ahead
-    /// horizons, and both scheduler kinds.
+    /// horizons, both scheduler kinds, arbitrary prediction-noise sigmas
+    /// (counter-based, resampled per window), and arbitrary failure
+    /// injection (counter-based geometric gaps). Noisy and
+    /// failure-injected runs must also actually *take* the event path:
+    /// the recorded effective stepping pins the fallback decision.
     #[test]
     fn event_driven_replay_matches_per_second_engine(
         trace in arb_trace(),
@@ -147,8 +151,16 @@ proptest! {
         horizon in 1u64..600,
         aware in 0u8..2,
         cold_start in 0u8..2,
+        noise_on in 0u8..2,
+        noise_sigma in 0.01f64..0.5,
+        noise_seed in 0u64..1_000_000,
+        failures_on in 0u8..2,
+        mtbf_s in 200.0f64..20_000.0,
+        repair_s in 1u64..120,
+        failure_seed in 0u64..1_000_000,
     ) {
         let (aware, cold_start) = (aware == 1, cold_start == 1);
+        let noise_sigma = if noise_on == 1 { noise_sigma } else { 0.0 };
         let infra = match BmlInfrastructure::build(&profiles) {
             Ok(i) => i,
             Err(_) => return Ok(()), // degenerate catalog (all dominated)
@@ -158,14 +170,28 @@ proptest! {
         } else {
             SchedulerKind::Baseline
         };
-        let base = SimConfig { scheduler, cold_start, ..SimConfig::default() };
+        let failures = (failures_on == 1)
+            .then(|| FailureModel::new(mtbf_s, repair_s, failure_seed));
+        let base = SimConfig { scheduler, cold_start, failures, ..SimConfig::default() };
 
-        let mut p = LookaheadMaxPredictor::new(&trace, horizon);
-        let per_second = simulate_bml(&trace, &infra, &mut p,
-            &SimConfig { stepping: Stepping::PerSecond, ..base.clone() });
-        let mut p = LookaheadMaxPredictor::new(&trace, horizon);
-        let event = simulate_bml(&trace, &infra, &mut p,
-            &SimConfig { stepping: Stepping::EventDriven, ..base });
+        let run_mode = |stepping| {
+            let inner = LookaheadMaxPredictor::new(&trace, horizon);
+            let config = SimConfig { stepping, ..base.clone() };
+            if noise_sigma > 0.0 {
+                let mut p = NoisyPredictor::with_resample(inner, noise_sigma, noise_seed, horizon);
+                simulate_bml(&trace, &infra, &mut p, &config)
+            } else {
+                let mut p = inner;
+                simulate_bml(&trace, &infra, &mut p, &config)
+            }
+        };
+        let per_second = run_mode(Stepping::PerSecond);
+        let event = run_mode(Stepping::EventDriven);
+
+        // Counter-based sampling means noise and failures never force a
+        // fallback: the event path must have been taken.
+        prop_assert_eq!(event.stepping_effective, Stepping::EventDriven);
+        prop_assert_eq!(per_second.stepping_effective, Stepping::PerSecond);
 
         // One shared definition of "result-identical" (discrete outcomes
         // exact, energies to float-accumulation rounding) — the same

@@ -10,9 +10,14 @@
 //! (partial knowledge, smoothed), and [`NoisyPredictor`] which injects
 //! controlled error into any base predictor — the paper's announced
 //! future work on "the impact of load prediction errors".
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Noise injection is **counter-based**: the error factor of second `t`
+//! is a pure function of `(seed, t / resample_s)` through the
+//! [`bml_core::rng`] PRF, resampled once per `resample_s`-second window
+//! rather than once per consulted second. A noisy wrapper around a
+//! segmented base predictor is therefore itself piecewise-constant with
+//! known change-points, and noisy runs stay on the event-driven replay
+//! engine.
 
 use crate::trace::LoadTrace;
 use crate::window::LookaheadMaxTable;
@@ -25,19 +30,24 @@ pub trait Predictor {
     fn name(&self) -> &'static str;
 
     /// `true` when the prediction is a pure piecewise-constant function of
-    /// time and [`Predictor::next_change`] reports its change-points
-    /// exactly. Only such predictors can drive the event-driven replay
-    /// engine; stateful or randomized predictors (EWMA, noisy wrappers)
-    /// must be polled every second and return `false` (the default).
+    /// time and [`Predictor::next_change`] bounds its constant runs. Only
+    /// such predictors can drive the event-driven replay engine; stateful
+    /// predictors whose value depends on the query history (EWMA,
+    /// last-value) must be polled every second and return `false` (the
+    /// default).
     fn is_segmented(&self) -> bool {
         false
     }
 
-    /// For segmented predictors: the smallest `t > now` at which
-    /// `predict(t)` differs from `predict(now)`, or `None` when the
-    /// prediction holds for the rest of the trace. The default (for
-    /// non-segmented predictors) is `None`, which callers must not
-    /// interpret without checking [`Predictor::is_segmented`].
+    /// For segmented predictors: a `t' > now` such that `predict` is
+    /// constant over `[now, t')`, or `None` when the prediction holds for
+    /// the rest of the trace. Exact predictors report their change-points
+    /// tightly (`predict(t') != predict(now)`); wrappers may be
+    /// conservative and report a boundary where the value happens not to
+    /// change (e.g. a noise-resample point) — callers may only rely on
+    /// constancy *before* `t'`. The default (for non-segmented
+    /// predictors) is `None`, which callers must not interpret without
+    /// checking [`Predictor::is_segmented`].
     fn next_change(&self, now: u64) -> Option<u64> {
         let _ = now;
         None
@@ -197,41 +207,90 @@ impl Predictor for EwmaPredictor {
 
 /// Error-injection wrapper: multiplies the base prediction by `1 + e`
 /// where `e ~ N(0, sigma)` truncated to `[-3 sigma, 3 sigma]`; results are
-/// clamped at 0. Deterministic given the seed.
+/// clamped at 0.
+///
+/// The error is **counter-based** and piecewise-constant: second `t`
+/// belongs to resample window `t / resample_s`, and the window's gaussian
+/// comes from the PRF stream `bml_core::rng::mix(seed, window)` — a pure
+/// function of the seed and the window index, never of how often the
+/// predictor was consulted. This keeps the paper's once-per-window
+/// resampling semantics (the prediction mechanism re-estimates once per
+/// look-ahead window, not per second) while making noisy runs
+/// segmentable: [`Predictor::next_change`] reports the union of the inner
+/// predictor's change-points and the noise-resample points, so the
+/// event-driven replay engine skips noisy stretches exactly like clean
+/// ones. Deterministic given the seed, identical across stepping modes
+/// and thread counts.
 pub struct NoisyPredictor<P: Predictor> {
     inner: P,
     sigma: f64,
-    rng: StdRng,
+    seed: u64,
+    resample_s: u64,
 }
 
+/// Default noise-resample window: the paper's 378 s look-ahead window
+/// (2x the longest switch-on duration of the Table I hardware).
+pub const DEFAULT_NOISE_RESAMPLE_S: u64 = 378;
+
 impl<P: Predictor> NoisyPredictor<P> {
-    /// Wrap `inner`, injecting relative gaussian error of std-dev `sigma`.
+    /// Wrap `inner`, injecting relative gaussian error of std-dev `sigma`
+    /// resampled once per [`DEFAULT_NOISE_RESAMPLE_S`]-second window.
     pub fn new(inner: P, sigma: f64, seed: u64) -> Self {
+        Self::with_resample(inner, sigma, seed, DEFAULT_NOISE_RESAMPLE_S)
+    }
+
+    /// Wrap `inner` with an explicit resample window (clamped to `>= 1`;
+    /// 1 draws a fresh error every second, like the historical
+    /// sequential-RNG wrapper).
+    pub fn with_resample(inner: P, sigma: f64, seed: u64, resample_s: u64) -> Self {
         assert!(sigma >= 0.0);
         NoisyPredictor {
             inner,
             sigma,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            resample_s: resample_s.max(1),
         }
     }
 
-    /// One truncated gaussian sample via Box-Muller.
-    fn gaussian(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        z.clamp(-3.0, 3.0)
+    /// The multiplicative error factor of the resample window covering
+    /// `now` — a pure function of `(seed, now / resample_s)`.
+    fn factor(&self, now: u64) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let window = now / self.resample_s;
+        1.0 + self.sigma * bml_core::rng::truncated_gaussian(bml_core::rng::mix(self.seed, window))
     }
 }
 
 impl<P: Predictor> Predictor for NoisyPredictor<P> {
     fn predict(&mut self, now: u64) -> f64 {
         let base = self.inner.predict(now);
-        let e = self.gaussian() * self.sigma;
-        (base * (1.0 + e)).max(0.0)
+        (base * self.factor(now)).max(0.0)
     }
     fn name(&self) -> &'static str {
         "noisy"
+    }
+    fn is_segmented(&self) -> bool {
+        // The noise factor is piecewise-constant by construction; the
+        // wrapper is segmented iff the base prediction is.
+        self.inner.is_segmented()
+    }
+    fn next_change(&self, now: u64) -> Option<u64> {
+        if !self.inner.is_segmented() {
+            return None;
+        }
+        let inner = self.inner.next_change(now);
+        if self.sigma == 0.0 {
+            return inner; // transparent wrapper
+        }
+        // Inner change-points ∪ noise-resample points. Conservative by
+        // design: the value may coincide across a boundary, but it is
+        // guaranteed constant before it. A resample boundary is reported
+        // even past the inner predictor's last change (the factor keeps
+        // changing as long as the prediction is consulted).
+        let resample = (now / self.resample_s + 1) * self.resample_s;
+        Some(inner.map_or(resample, |i| i.min(resample)))
     }
 }
 
@@ -294,8 +353,13 @@ mod tests {
         let t = trace();
         assert!(!EwmaPredictor::new(&t, 0.5).is_segmented());
         assert!(!LastValuePredictor::new(&t).is_segmented());
-        assert!(!NoisyPredictor::new(OraclePredictor::new(&t), 0.1, 1).is_segmented());
         assert_eq!(EwmaPredictor::new(&t, 0.5).next_change(0), None);
+        // A noisy wrapper inherits segmentation from its base: stateful
+        // bases stay per-second, segmented bases stay event-drivable.
+        let noisy_ewma = NoisyPredictor::new(EwmaPredictor::new(&t, 0.5), 0.1, 1);
+        assert!(!noisy_ewma.is_segmented());
+        assert_eq!(noisy_ewma.next_change(0), None);
+        assert!(NoisyPredictor::new(OraclePredictor::new(&t), 0.1, 1).is_segmented());
     }
 
     #[test]
@@ -376,12 +440,67 @@ mod tests {
     #[test]
     fn noisy_error_distribution_sane() {
         let t = LoadTrace::new(0, vec![100.0; 5000]);
-        let mut p = NoisyPredictor::new(OraclePredictor::new(&t), 0.1, 9);
+        // resample_s = 1 draws an i.i.d. error every second, so 5000
+        // consultations are 5000 independent samples.
+        let mut p = NoisyPredictor::with_resample(OraclePredictor::new(&t), 0.1, 9, 1);
         let preds: Vec<f64> = (0..5000).map(|i| p.predict(i)).collect();
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
         assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
         let var = preds.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / preds.len() as f64;
         let sd = var.sqrt();
         assert!((sd - 10.0).abs() < 2.0, "sd {sd}");
+    }
+
+    #[test]
+    fn noisy_factor_is_constant_within_a_resample_window() {
+        let t = LoadTrace::new(0, vec![100.0; 2000]);
+        let mut p = NoisyPredictor::with_resample(OraclePredictor::new(&t), 0.2, 11, 378);
+        let mut distinct = 0u32;
+        let mut prev = f64::NAN;
+        for w in 0..5u64 {
+            let first = p.predict(w * 378);
+            for off in 1..378 {
+                assert_eq!(p.predict(w * 378 + off), first, "window {w} offset {off}");
+            }
+            if first != prev {
+                distinct += 1;
+            }
+            prev = first;
+        }
+        assert!(
+            distinct >= 4,
+            "windows should resample: {distinct} distinct"
+        );
+    }
+
+    #[test]
+    fn noisy_is_a_pure_function_of_time() {
+        // Counter-based: querying out of order, twice, or skipping ahead
+        // never changes any sample — the property the event-driven engine
+        // relies on to skip seconds.
+        let t = LoadTrace::new(0, vec![100.0; 2000]);
+        let mut fwd = NoisyPredictor::with_resample(OraclePredictor::new(&t), 0.2, 3, 10);
+        let mut rev = NoisyPredictor::with_resample(OraclePredictor::new(&t), 0.2, 3, 10);
+        let forward: Vec<f64> = (0..2000).map(|i| fwd.predict(i)).collect();
+        for i in (0..2000u64).rev() {
+            assert_eq!(rev.predict(i), forward[i as usize]);
+        }
+    }
+
+    #[test]
+    fn noisy_next_change_unions_inner_and_resample_points() {
+        let t = trace(); // raw runs change at every second up to 4, then constant
+        let inner = OraclePredictor::new(&t);
+        let p = NoisyPredictor::with_resample(inner, 0.2, 1, 4);
+        // Inner change at 1 beats the resample boundary at 4.
+        assert_eq!(p.next_change(0), Some(1));
+        // Inner drop-to-zero at the trace end (6) beats the boundary at 8.
+        assert_eq!(p.next_change(4), Some(6));
+        // Past the trace the inner is exhausted (None) but the resample
+        // boundaries keep coming.
+        assert_eq!(p.next_change(9), Some(12));
+        // sigma = 0 is transparent: inner change-points only.
+        let clean = NoisyPredictor::with_resample(OraclePredictor::new(&t), 0.0, 1, 4);
+        assert_eq!(clean.next_change(9), None);
     }
 }
