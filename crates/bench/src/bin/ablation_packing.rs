@@ -1,7 +1,13 @@
-//! Ablation — the paper's greedy Step-5 fill versus an exact DP packer.
+//! Ablation — the paper's greedy Step-5 fill versus the exact optimum.
 //!
 //! Quantifies how far "fill Bigs first, route the remainder by threshold"
 //! sits from the optimal machine combination on the Table I hardware.
+//!
+//! The optimum column is [`bml_opt::optimal_instant`] — the one-segment
+//! special case of the offline-optimal segment DP, seeded with the
+//! knapsack packing of [`bml_core::combination::optimal_dp`] so the two
+//! solvers share one code path (and are asserted to agree in this
+//! binary's tests).
 //!
 //! ```text
 //! cargo run --release -p bml-bench --bin ablation_packing [--csv]
@@ -10,13 +16,14 @@
 use bml_bench::Args;
 use bml_core::bml::BmlInfrastructure;
 use bml_core::catalog;
-use bml_core::combination::optimal_dp;
+use bml_core::combination::SplitPolicy;
 use bml_metrics::Table;
 
 fn main() {
     let args = Args::parse();
     let bml = BmlInfrastructure::build(&catalog::table1()).expect("paper catalog builds");
     let profiles = bml.candidates();
+    let split = SplitPolicy::EfficiencyGreedy;
 
     let mut t = Table::new(&[
         "rate (req/s)",
@@ -32,7 +39,7 @@ fn main() {
     for r in (1..=2662u64).step_by(7) {
         let greedy_combo = bml.ideal_combination(r as f64);
         let greedy = greedy_combo.power(profiles);
-        let (dp, dp_counts) = optimal_dp(profiles, r);
+        let (dp, dp_counts) = bml_opt::optimal_instant(&bml, r, split);
         let gap = 100.0 * (greedy - dp) / dp;
         worst_gap = worst_gap.max(gap);
         total_greedy += greedy;
@@ -60,4 +67,28 @@ fn main() {
         worst_gap,
         100.0 * (total_greedy - total_dp) / total_dp
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bml_core::combination::optimal_dp;
+
+    /// The segment DP collapsed to one segment must reproduce the
+    /// standalone knapsack packer exactly — they are the same optimum
+    /// computed two ways, and this binary quotes them interchangeably.
+    #[test]
+    fn instant_dp_agrees_with_the_knapsack_packer() {
+        let bml = BmlInfrastructure::build(&catalog::table1()).unwrap();
+        let profiles = bml.candidates();
+        for r in (1..=2662u64).step_by(7) {
+            let (knapsack_w, _) = optimal_dp(profiles, r);
+            let (instant_w, counts) =
+                bml_opt::optimal_instant(&bml, r, SplitPolicy::EfficiencyGreedy);
+            assert!(
+                (instant_w - knapsack_w).abs() <= 1e-9 * knapsack_w.max(1.0),
+                "rate {r}: segment DP {instant_w} W vs knapsack {knapsack_w} W ({counts:?})"
+            );
+        }
+    }
 }

@@ -138,6 +138,8 @@ mod tests {
                         reconfig_energy_j: 0.0,
                         instance_migrations: 0,
                         stepping_effective: Stepping::EventDriven,
+                        optimal_energy_j: None,
+                        optimality_gap: None,
                     },
                 }
             })

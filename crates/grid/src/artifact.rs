@@ -1,10 +1,10 @@
 //! Versioned grid artifacts: `BENCH_grid.json` and `BENCH_grid.csv`.
 //!
-//! # Schema (`bml-grid/v2`)
+//! # Schema (`bml-grid/v3`)
 //!
 //! ```text
 //! {
-//!   "schema":   "bml-grid/v2",
+//!   "schema":   "bml-grid/v3",
 //!   "name":     <spec name>,
 //!   "root_seed": <u64>,
 //!   "n_cells":  <usize>,
@@ -16,7 +16,8 @@
 //!                "reconfigurations", "nodes_switched_on",
 //!                "nodes_switched_off", "reconfig_energy_j",
 //!                "instance_migrations",
-//!                "stepping_effective" }, ... ],                 // enumeration order
+//!                "stepping_effective",
+//!                "optimal_energy_j", "optimality_gap" }, ... ], // enumeration order
 //!   "best_by_dimension": [ { "dimension", "value", "cell",
 //!                            "total_energy_j", "qos_shortfall" }, ... ],
 //!   "pareto_energy_vs_qos": [ <cell index>, ... ]               // ascending energy
@@ -38,11 +39,15 @@ use crate::executor::GridOutcome;
 use crate::json::Object;
 use crate::spec::DIMENSIONS;
 
-/// Current artifact schema identifier. v2 added `stepping_effective`
-/// (the loop the engine actually ran — counter-based sampling keeps
-/// noisy and failure cells on the event path, and consumers gate on no
-/// silent fallback); cell seeds and all v1 fields are unchanged.
-pub const SCHEMA: &str = "bml-grid/v2";
+/// Current artifact schema identifier. v3 added `optimal_energy_j`
+/// (the replay-verified offline optimum from `bml-opt`'s segment DP,
+/// shared by every cell with the same trace/catalog/split) and
+/// `optimality_gap` (`(total - optimal) / optimal`, `null` when the
+/// optimum is zero); cell seeds and all v2 fields are unchanged. v2
+/// added `stepping_effective` (the loop the engine actually ran —
+/// counter-based sampling keeps noisy and failure cells on the event
+/// path, and consumers gate on no silent fallback).
+pub const SCHEMA: &str = "bml-grid/v3";
 
 /// JSON artifact file name.
 pub const JSON_NAME: &str = "BENCH_grid.json";
@@ -85,6 +90,10 @@ pub fn render_json(out: &GridOutcome) -> String {
                     "stepping_effective",
                     crate::spec::stepping_label(s.stepping_effective),
                 )
+                // `num` renders non-finite as null, so absent optima
+                // (and zero-optimum gaps) come out as JSON null.
+                .num("optimal_energy_j", s.optimal_energy_j.unwrap_or(f64::NAN))
+                .num("optimality_gap", s.optimality_gap.unwrap_or(f64::NAN))
         })
         .collect();
     let bests = per_dimension_bests(out)
@@ -115,7 +124,8 @@ pub fn render_json(out: &GridOutcome) -> String {
 const CSV_HEADER: &str = "index,seed,trace,catalog,scheduler,window,noise_sigma,split,stepping,\
                           total_energy_j,mean_power_w,qos_shortfall,violation_seconds,\
                           worst_shortfall,reconfigurations,nodes_switched_on,nodes_switched_off,\
-                          reconfig_energy_j,instance_migrations,stepping_effective";
+                          reconfig_energy_j,instance_migrations,stepping_effective,\
+                          optimal_energy_j,optimality_gap";
 
 /// RFC-4180 field quoting: labels are free-form (custom catalog names may
 /// hold commas or quotes), so any field containing a delimiter, quote or
@@ -135,7 +145,7 @@ pub fn render_csv(out: &GridOutcome) -> String {
     for c in &out.cells {
         let m = &c.summary;
         s.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             c.coords.index,
             c.coords.seed,
             csv_field(&c.labels[0]),
@@ -156,6 +166,10 @@ pub fn render_csv(out: &GridOutcome) -> String {
             m.reconfig_energy_j,
             m.instance_migrations,
             crate::spec::stepping_label(m.stepping_effective),
+            // Empty cells (no optimality pass / zero optimum) stay empty —
+            // CSV readers parse them as missing, not as zero.
+            m.optimal_energy_j.map_or(String::new(), |v| v.to_string()),
+            m.optimality_gap.map_or(String::new(), |v| v.to_string()),
         ));
     }
     s
@@ -204,7 +218,7 @@ mod tests {
     fn json_has_schema_and_every_cell() {
         let out = outcome();
         let j = render_json(&out);
-        assert!(j.starts_with("{\"schema\":\"bml-grid/v2\""));
+        assert!(j.starts_with("{\"schema\":\"bml-grid/v3\""));
         assert!(j.contains("\"name\":\"artifact-unit\""));
         assert!(j.contains("\"n_cells\":2"));
         assert!(j.contains("\"pareto_energy_vs_qos\":["));
@@ -253,8 +267,44 @@ mod tests {
             "every event-requested cell must report the event path: {j}"
         );
         let csv = render_csv(&out);
+        let col = CSV_HEADER
+            .split(',')
+            .position(|h| h == "stepping_effective")
+            .unwrap();
         for row in csv.lines().skip(1) {
-            assert!(row.ends_with(",event"), "unexpected fallback row: {row}");
+            assert_eq!(
+                row.split(',').nth(col),
+                Some("event"),
+                "unexpected fallback row: {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_carries_the_optimality_columns() {
+        let out = outcome();
+        let j = render_json(&out);
+        assert_eq!(
+            j.matches("\"optimal_energy_j\":").count(),
+            out.cells.len(),
+            "one optimum per cell: {j}"
+        );
+        assert_eq!(j.matches("\"optimality_gap\":").count(), out.cells.len());
+        assert!(
+            !j.contains("\"optimal_energy_j\":null"),
+            "run_grid attaches an optimum to every cell"
+        );
+        let csv = render_csv(&out);
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        assert_eq!(header[header.len() - 2], "optimal_energy_j");
+        assert_eq!(header[header.len() - 1], "optimality_gap");
+        for row in csv.lines().skip(1) {
+            let fields: Vec<&str> = row.split(',').collect();
+            assert_eq!(fields.len(), header.len());
+            let opt: f64 = fields[fields.len() - 2].parse().unwrap();
+            let gap: f64 = fields[fields.len() - 1].parse().unwrap();
+            assert!(opt > 0.0);
+            assert!(gap >= 0.0, "noise-free cells cannot beat the optimum");
         }
     }
 

@@ -81,7 +81,7 @@ pub fn run_grid(spec: &GridSpec, threads: Option<usize>) -> Result<GridOutcome, 
         .collect();
 
     let results = run_cells(&jobs, threads);
-    let cells = coords
+    let mut cells: Vec<CellRecord> = coords
         .into_iter()
         .zip(results)
         .map(|(coords, result)| CellRecord {
@@ -90,10 +90,47 @@ pub fn run_grid(spec: &GridSpec, threads: Option<usize>) -> Result<GridOutcome, 
             summary: result.summary(),
         })
         .collect();
+    attach_optimal_energies(spec, &traces, &catalogs, &mut cells);
     Ok(GridOutcome {
         spec: spec.clone(),
         cells,
     })
+}
+
+/// Solve the offline optimum once per distinct `(trace, catalog, split)`
+/// triple — the only dimensions the optimum depends on — replay-verify
+/// each schedule through the simulator (`bml_opt::solve_verified` panics
+/// on >1e-9 divergence), and stamp `optimal_energy_j` / `optimality_gap`
+/// onto every cell sharing the triple. Runs serially after the cell
+/// fan-out; solves are deterministic, so artifacts stay byte-identical
+/// across thread counts.
+fn attach_optimal_energies(
+    spec: &GridSpec,
+    traces: &[bml_trace::LoadTrace],
+    catalogs: &[bml_core::bml::BmlInfrastructure],
+    cells: &mut [CellRecord],
+) {
+    let mut optima: std::collections::BTreeMap<(usize, usize, usize), f64> =
+        std::collections::BTreeMap::new();
+    for cell in cells.iter_mut() {
+        let key = (cell.coords.trace, cell.coords.catalog, cell.coords.split);
+        let optimal = *optima.entry(key).or_insert_with(|| {
+            let (sched, _) = bml_opt::solve_verified(
+                &traces[key.0],
+                &catalogs[key.1],
+                spec.splits[key.2],
+                &bml_opt::OptOptions::default(),
+            )
+            .expect("exact DP cannot dead-end");
+            sched.energy_j
+        });
+        cell.summary.optimal_energy_j = Some(optimal);
+        cell.summary.optimality_gap = if optimal > 0.0 {
+            Some((cell.summary.total_energy_j - optimal) / optimal)
+        } else {
+            None
+        };
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +171,23 @@ mod tests {
         // The heterogeneous trio must beat the Big-only mix on a bursty
         // trace with deep lows.
         assert!(out.cells[0].summary.total_energy_j < out.cells[1].summary.total_energy_j);
+    }
+
+    #[test]
+    fn every_cell_carries_a_verified_optimum() {
+        let out = run_grid(&small_spec(), Some(1)).unwrap();
+        for c in &out.cells {
+            let opt = c.summary.optimal_energy_j.expect("optimum attached");
+            let gap = c.summary.optimality_gap.expect("gap attached");
+            assert!(opt > 0.0);
+            // Noise-free cells serve in full, so the scheduler can never
+            // beat the offline optimum.
+            assert!(gap >= 0.0, "gap {gap} for {:?}", c.labels);
+            assert!(
+                (gap - (c.summary.total_energy_j - opt) / opt).abs() < 1e-12,
+                "gap is derived from the two energies"
+            );
+        }
     }
 
     #[test]

@@ -364,6 +364,15 @@ pub struct ScenarioResult {
     /// Every reconfiguration launched, in decision order — the replay's
     /// audit trail, and what the stepping-equivalence property pins.
     pub reconfig_log: Vec<ReconfigRecord>,
+    /// The offline-optimal energy (J) for the same trace/catalog/split,
+    /// from the `bml-opt` segment DP. `None` until an optimality pass
+    /// attaches it (the engine itself never computes it).
+    pub optimal_energy_j: Option<f64>,
+    /// Relative optimality gap `(total_energy_j - optimal) / optimal`.
+    /// `None` without an optimality pass or when the optimum is zero.
+    /// Negative gaps are possible for runs that violate QoS: the optimum
+    /// is constrained to full service, a violating run is not.
+    pub optimality_gap: Option<f64>,
 }
 
 /// The compact per-cell summary an experiment-grid aggregator consumes:
@@ -395,6 +404,10 @@ pub struct CellSummary {
     /// The stepping loop that actually ran (fallback audit; see
     /// [`ScenarioResult::stepping_effective`]).
     pub stepping_effective: Stepping,
+    /// Offline-optimal energy (J); see [`ScenarioResult::optimal_energy_j`].
+    pub optimal_energy_j: Option<f64>,
+    /// Relative optimality gap; see [`ScenarioResult::optimality_gap`].
+    pub optimality_gap: Option<f64>,
 }
 
 impl ScenarioResult {
@@ -412,7 +425,22 @@ impl ScenarioResult {
             reconfig_energy_j: self.reconfig_energy_j,
             instance_migrations: self.instance_migrations,
             stepping_effective: self.stepping_effective,
+            optimal_energy_j: self.optimal_energy_j,
+            optimality_gap: self.optimality_gap,
         }
+    }
+
+    /// Attach an offline-optimal reference energy: sets
+    /// `optimal_energy_j` and derives `optimality_gap` relative to it
+    /// (`None` gap when the optimum is zero — an all-idle trace has
+    /// nothing to be proportional to).
+    pub fn attach_optimal(&mut self, optimal_energy_j: f64) {
+        self.optimal_energy_j = Some(optimal_energy_j);
+        self.optimality_gap = if optimal_energy_j > 0.0 {
+            Some((self.total_energy_j - optimal_energy_j) / optimal_energy_j)
+        } else {
+            None
+        };
     }
 
     /// Check that `other` is a replay-equivalent result of the same
@@ -678,6 +706,8 @@ impl<'a> EngineState<'a> {
             stepping_effective,
             reconfig_log: self.reconfig_log,
             daily_energy_j: self.meter.into_daily_joules(),
+            optimal_energy_j: None,
+            optimality_gap: None,
         }
     }
 }

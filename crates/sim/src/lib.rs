@@ -13,6 +13,9 @@
 //!   with any `bml-trace` predictor, in either per-second (reference) or
 //!   event-driven skip-ahead stepping ([`engine::Stepping`]);
 //! * [`qos`] — demand-vs-served accounting;
+//! * [`replay`] — schedule replay (records in, energies out): how
+//!   `bml-opt` verifies its offline-optimal schedules against the same
+//!   cluster model the engine uses;
 //! * [`scenarios`] — the four Fig. 5 scenarios (two homogeneous upper
 //!   bounds, BML, the theoretical lower bound);
 //! * [`exec`] — the shared experiment-cell executor: one knob setting =
@@ -28,6 +31,7 @@ pub mod cluster;
 pub mod engine;
 pub mod exec;
 pub mod qos;
+pub mod replay;
 pub mod runner;
 pub mod scenarios;
 
@@ -38,6 +42,7 @@ pub use engine::{
 };
 pub use exec::{run_cell, run_cells, CellConfig, CellJob};
 pub use qos::QosReport;
+pub use replay::replay_schedule;
 pub use runner::{
     run_comparison, sweep_prediction_noise, sweep_split_policy, sweep_window, ComparisonResult,
 };

@@ -162,4 +162,48 @@ mod tests {
         let v = [1.0, 2.0, 1.0, 2.0];
         assert!(constant_runs(&v).all(|s| s.len() == 1));
     }
+
+    // The trace-level face of the same machinery — what the replay
+    // engines and the offline-optimal segment DP actually call.
+
+    #[test]
+    fn empty_trace_has_no_runs() {
+        let trace = crate::LoadTrace::new(0, vec![]);
+        assert_eq!(trace.constant_runs().count(), 0);
+        assert_eq!(trace.run_end(0), 0);
+        assert_eq!(trace.run_end(99), 0);
+    }
+
+    #[test]
+    fn single_second_trace_is_one_unit_run() {
+        let trace = crate::LoadTrace::new(0, vec![42.0]);
+        let runs: Vec<Segment> = trace.constant_runs().collect();
+        assert_eq!(
+            runs,
+            vec![Segment {
+                start: 0,
+                end: 1,
+                value: 42.0
+            }]
+        );
+        assert_eq!(trace.run_end(0), 1);
+        assert_eq!(trace.run_end(1), 1, "past-the-end clamps to the horizon");
+    }
+
+    #[test]
+    fn final_run_ends_exactly_at_the_horizon() {
+        // The last run's `end` must be the trace length itself — an
+        // off-by-one here would make horizon-clamped consumers (span
+        // accounting, shutdown-ramp truncation) drop or double the final
+        // second.
+        let mut rates = vec![1.0; 5];
+        rates.extend(vec![9.0; 7]);
+        let trace = crate::LoadTrace::new(0, rates);
+        let runs: Vec<Segment> = trace.constant_runs().collect();
+        assert_eq!(runs.last().unwrap().end, trace.len());
+        assert_eq!(trace.run_end(5), 12);
+        assert_eq!(trace.run_end(11), 12);
+        let covered: u64 = runs.iter().map(Segment::len).sum();
+        assert_eq!(covered, trace.len());
+    }
 }

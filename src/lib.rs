@@ -18,6 +18,8 @@
 //!   Fig. 5 scenarios;
 //! * [`grid`] (`bml-grid`) — declarative multi-dimensional scenario
 //!   grids executed rayon-parallel with deterministic artifacts;
+//! * [`opt`] (`bml-opt`) — offline-optimal reconfiguration schedules via
+//!   an exact segment DP, replay-verified against the simulator;
 //! * [`profiler`] (`bml-profiler`) — the Step-1 measurement harness.
 //!
 //! ```
@@ -33,6 +35,7 @@ pub use bml_app as app;
 pub use bml_core as core;
 pub use bml_grid as grid;
 pub use bml_metrics as metrics;
+pub use bml_opt as opt;
 pub use bml_profiler as profiler;
 pub use bml_sim as sim;
 pub use bml_trace as trace;
@@ -43,6 +46,7 @@ pub mod prelude {
     pub use bml_core::prelude::*;
     pub use bml_grid::{run_grid, GridOutcome, GridSpec};
     pub use bml_metrics::{EnergyMeter, ExperimentRecord, OverheadStats, Table};
+    pub use bml_opt::{solve_verified, OptOptions, OptimalSchedule};
     pub use bml_profiler::{paper_machines, profile_park, ProfilerConfig};
     pub use bml_sim::{run_comparison, ScenarioResult, SimConfig};
     pub use bml_trace::{LoadTrace, LookaheadMaxPredictor, OraclePredictor, Predictor};
