@@ -3,25 +3,30 @@
 //! Enumerates the smoke grid — catalog mixes x schedulers x windows x
 //! prediction noise x split policies x both stepping modes on a
 //! World-Cup-like tournament trace — executes every cell rayon-parallel
-//! with deterministic per-cell seeds, and writes the versioned
-//! `BENCH_grid.json` + `BENCH_grid.csv` artifacts. For a fixed seed the
-//! artifacts are byte-identical at any `--threads` setting.
+//! with deterministic per-cell seeds, and streams the versioned
+//! `BENCH_grid.json` + `BENCH_grid.csv` artifacts as cells complete. For
+//! a fixed seed the artifacts are byte-identical at any `--threads`
+//! setting and at any cache temperature.
 //!
 //! ```text
 //! cargo run --release -p bml-bench --bin grid -- \
 //!     [--days N] [--seed N] [--threads N] [--out-dir PATH] [--csv] \
-//!     [--stepping event|per-second]
+//!     [--cache-dir PATH] [--stepping event|per-second]
 //! ```
 //!
 //! Without `--stepping` the grid sweeps *both* modes as a dimension (CI
-//! diffs the twins); with it, only the requested mode runs.
+//! diffs the twins); with it, only the requested mode runs. With
+//! `--cache-dir`, cell results are memoized content-addressed under that
+//! directory and a `cell cache: H hits / T lookups` line lands on stderr
+//! (never in the artifact) — CI re-runs the smoke grid warm and demands
+//! a ≥95% hit rate with byte-identical artifacts.
 
 use std::path::Path;
 
 use bml_bench::Args;
 use bml_core::combination::SplitPolicy;
-use bml_grid::spec::{CatalogSpec, GridSpec, SchedulerDim, TraceSpec};
-use bml_grid::{pareto_frontier, per_dimension_bests, run_grid, write_artifacts};
+use bml_grid::spec::{CatalogSpec, GridSpec, SchedulerDim};
+use bml_grid::{pareto_frontier, per_dimension_bests, GridRunner, StreamingArtifactWriter};
 use bml_metrics::{joules_to_kwh, Table};
 use bml_sim::Stepping;
 
@@ -31,28 +36,25 @@ use bml_sim::Stepping;
 /// diffs event-driven cells against their per-second twins; an explicit
 /// `--stepping` restricts the dimension to that one mode (72 cells).
 fn smoke_spec(days: u32, seed: u64, steppings: Vec<Stepping>) -> GridSpec {
-    GridSpec {
-        name: format!("smoke-{days}d"),
-        root_seed: seed,
-        traces: vec![TraceSpec {
-            source: "worldcup-tournament".into(),
-            days,
-            seed,
-        }],
-        catalogs: vec![
+    GridSpec::builder()
+        .name(format!("smoke-{days}d"))
+        .root_seed(seed)
+        .trace("worldcup-tournament", days, seed)
+        .catalogs(vec![
             CatalogSpec::table1(),
             CatalogSpec::big_medium(),
             CatalogSpec::big_little(),
-        ],
-        schedulers: vec![SchedulerDim::Baseline, SchedulerDim::TransitionAware],
-        windows: vec![None, Some(189), Some(756)],
-        noise_sigmas: vec![0.0, 0.2],
-        splits: vec![
+        ])
+        .schedulers(vec![SchedulerDim::Baseline, SchedulerDim::TransitionAware])
+        .windows(vec![None, Some(189), Some(756)])
+        .noise_sigmas(vec![0.0, 0.2])
+        .splits(vec![
             SplitPolicy::EfficiencyGreedy,
             SplitPolicy::ProportionalToCapacity,
-        ],
-        steppings,
-    }
+        ])
+        .steppings(steppings)
+        .build()
+        .expect("the smoke grid is always a valid spec")
 }
 
 fn main() {
@@ -71,12 +73,22 @@ fn main() {
         args.threads
             .map_or_else(|| "default".to_string(), |n| n.to_string()),
     );
-    let started = std::time::Instant::now();
-    let out = run_grid(&spec, args.threads).unwrap_or_else(|e| {
-        eprintln!("grid spec invalid: {e}");
-        std::process::exit(2)
+    let mut sink = StreamingArtifactWriter::create(Path::new(&args.out_dir)).unwrap_or_else(|e| {
+        eprintln!("cannot open artifacts under {}: {e}", args.out_dir);
+        std::process::exit(1)
     });
+    let started = std::time::Instant::now();
+    let run = GridRunner::new(&spec)
+        .threads_opt(args.threads)
+        .cache_dir_opt(args.cache_dir.as_deref())
+        .sink(&mut sink)
+        .run()
+        .unwrap_or_else(|e| {
+            eprintln!("grid run failed: {e}");
+            std::process::exit(2)
+        });
     let wall_s = started.elapsed().as_secs_f64();
+    let out = &run.outcome;
     let sim_seconds = out.cells.len() as u64 * u64::from(days) * 86_400;
     eprintln!(
         "ran {} cells ({} simulated seconds) in {wall_s:.2} s \
@@ -86,6 +98,17 @@ fn main() {
         out.cells.len() as f64 / wall_s,
         sim_seconds as f64 / wall_s,
     );
+    if args.cache_dir.is_some() {
+        // Telemetry only: CI parses this line; artifacts never carry it.
+        eprintln!(
+            "cell cache: {} hits / {} lookups ({:.1}%), {} opt hits / {} opt lookups",
+            run.cache.hits,
+            run.cache.lookups,
+            100.0 * run.cache.hit_rate(),
+            run.cache.opt_hits,
+            run.cache.opt_lookups,
+        );
+    }
 
     println!(
         "Grid '{}' — best cell per dimension value (root seed {}):\n",
@@ -98,7 +121,7 @@ fn main() {
         "energy (kWh)",
         "QoS shortfall (%)",
     ]);
-    for b in per_dimension_bests(&out) {
+    for b in per_dimension_bests(out) {
         t.row(&[
             b.dimension,
             b.value,
@@ -113,7 +136,7 @@ fn main() {
         print!("{}", t.render());
     }
 
-    let frontier = pareto_frontier(&out);
+    let frontier = pareto_frontier(out);
     println!(
         "\nEnergy-vs-QoS Pareto frontier: {} of {} cells:\n",
         frontier.len(),
@@ -148,11 +171,6 @@ fn main() {
         print!("{}", p.render());
     }
 
-    match write_artifacts(&out, Path::new(&args.out_dir)) {
-        Ok((json, csv)) => eprintln!("wrote {} and {}", json.display(), csv.display()),
-        Err(e) => {
-            eprintln!("failed to write artifacts under {}: {e}", args.out_dir);
-            std::process::exit(1)
-        }
-    }
+    let (json, csv) = sink.paths();
+    eprintln!("wrote {} and {}", json.display(), csv.display());
 }

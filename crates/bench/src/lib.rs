@@ -2,279 +2,16 @@
 //!
 //! One binary per paper table/figure (see DESIGN.md's per-experiment
 //! index) plus ablation studies and the multi-dimensional `grid` runner.
-//! This library hosts the tiny shared CLI helper the binaries use.
+//! This library hosts the shared CLI argument plumbing ([`cli`]) so the
+//! twelve binaries parse `--seed`/`--days`/`--threads`/... one way.
 
 #![warn(missing_docs)]
+
+pub mod cli;
+
+pub use cli::{Args, USAGE};
 
 /// Ordered-JSON emission for the `BENCH_*.json` artifacts, re-exported
 /// from `bml-grid` (where the grid artifact writer lives) so every bench
 /// binary renders machine-readable summaries the same way.
 pub use bml_grid::json;
-
-/// The usage line printed by `--help` and on any parse error.
-pub const USAGE: &str = "usage: [--seed N] [--days N] [--window S] [--noise SIGMA] [--csv] \
-     [--json PATH] [--threads N] [--out-dir PATH] [--stepping event|per-second]";
-
-/// Common command-line options of the experiment binaries.
-///
-/// Flags: `--seed N`, `--days N`, `--window S`, `--csv`, `--noise SIGMA`,
-/// `--json PATH`, `--threads N`, `--out-dir PATH`,
-/// `--stepping event|per-second`. Unknown flags abort with a usage
-/// message.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Args {
-    /// RNG seed (default 1998, the shipped experiment seed).
-    pub seed: u64,
-    /// Number of trace days to simulate; `None` when `--days` was not
-    /// given, so each binary applies its own default (the paper's 87 for
-    /// the figure replays, smaller for the repeated sweeps) without
-    /// mistaking an explicit request for the default. Read through
-    /// [`Args::days_or`].
-    pub days: Option<u32>,
-    /// Look-ahead window override (seconds); `None` = the paper's 378 s.
-    pub window: Option<u64>,
-    /// Emit CSV instead of aligned text tables.
-    pub csv: bool,
-    /// Prediction noise sigma for the ablations.
-    pub noise: f64,
-    /// Also write a machine-readable summary (the `BENCH_*.json` perf
-    /// trajectory CI uploads) to this path.
-    pub json: Option<String>,
-    /// Worker-thread cap for the parallel sweeps and grids; `None` =
-    /// rayon's default. Thread count never changes results, only
-    /// wall-clock time.
-    pub threads: Option<usize>,
-    /// Directory artifact-writing binaries (`grid`) emit into
-    /// (default `.`).
-    pub out_dir: String,
-    /// Engine stepping mode for the simulation binaries; `None` when
-    /// `--stepping` was not given (single-run binaries default to
-    /// event-driven via [`Args::stepping_or_default`]; the `grid` binary
-    /// sweeps both modes unless one is requested explicitly).
-    pub stepping: Option<bml_sim::Stepping>,
-}
-
-impl Default for Args {
-    fn default() -> Self {
-        Args {
-            seed: 1998,
-            days: None,
-            window: None,
-            csv: false,
-            noise: 0.0,
-            json: None,
-            threads: None,
-            out_dir: ".".into(),
-            stepping: None,
-        }
-    }
-}
-
-impl Args {
-    /// Parse from `std::env::args`, exiting with a usage message on error.
-    pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
-    }
-
-    /// Parse from an explicit iterator, exiting on error.
-    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
-        Self::try_parse_from(args).unwrap_or_else(|msg| die(&msg))
-    }
-
-    /// Parse from an explicit iterator; errors (including `--help`)
-    /// become the message the CLI would print before exiting, usage line
-    /// included — this is what the unknown-flag tests exercise.
-    pub fn try_parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
-        let mut out = Args::default();
-        let mut it = args.into_iter();
-        while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next()
-                    .ok_or_else(|| format!("missing value for {name}\n{USAGE}"))
-            };
-            match flag.as_str() {
-                "--seed" => out.seed = parse_num(&value("--seed")?, "--seed")?,
-                "--days" => out.days = Some(parse_num(&value("--days")?, "--days")?),
-                "--window" => out.window = Some(parse_num(&value("--window")?, "--window")?),
-                "--noise" => out.noise = parse_num(&value("--noise")?, "--noise")?,
-                "--threads" => {
-                    let n: usize = parse_num(&value("--threads")?, "--threads")?;
-                    if n == 0 {
-                        return Err(format!("--threads must be at least 1\n{USAGE}"));
-                    }
-                    out.threads = Some(n);
-                }
-                "--out-dir" => out.out_dir = value("--out-dir")?,
-                "--csv" => out.csv = true,
-                "--json" => out.json = Some(value("--json")?),
-                "--stepping" => {
-                    out.stepping = Some(match value("--stepping")?.as_str() {
-                        "event" | "event-driven" => bml_sim::Stepping::EventDriven,
-                        "per-second" | "per_second" => bml_sim::Stepping::PerSecond,
-                        other => {
-                            return Err(format!(
-                                "bad value '{other}' for --stepping (want 'event' or 'per-second')\n{USAGE}"
-                            ))
-                        }
-                    })
-                }
-                "--help" | "-h" => return Err(USAGE.into()),
-                other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
-            }
-        }
-        Ok(out)
-    }
-
-    /// The trace span to simulate: `--days` when given, otherwise the
-    /// binary's own default.
-    pub fn days_or(&self, default: u32) -> u32 {
-        self.days.unwrap_or(default)
-    }
-
-    /// The stepping mode for single-run binaries: `--stepping` when
-    /// given, otherwise event-driven.
-    pub fn stepping_or_default(&self) -> bml_sim::Stepping {
-        self.stepping.unwrap_or_default()
-    }
-
-    /// A rayon pool honoring `--threads` (the default pool when unset).
-    /// Run parallel sections under `pool().install(|| ...)`.
-    pub fn pool(&self) -> rayon::ThreadPool {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(self.threads.unwrap_or(0))
-            .build()
-            .expect("thread pool construction cannot fail")
-    }
-}
-
-fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
-    s.parse()
-        .map_err(|_| format!("bad value '{s}' for {flag}\n{USAGE}"))
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("{msg}");
-    std::process::exit(2)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(v: &[&str]) -> Args {
-        Args::parse_from(v.iter().map(|s| s.to_string()))
-    }
-
-    fn try_parse(v: &[&str]) -> Result<Args, String> {
-        Args::try_parse_from(v.iter().map(|s| s.to_string()))
-    }
-
-    #[test]
-    fn defaults() {
-        let a = parse(&[]);
-        assert_eq!(a.seed, 1998);
-        assert_eq!(a.days, None);
-        assert_eq!(a.days_or(87), 87);
-        assert_eq!(a.window, None);
-        assert!(!a.csv);
-        assert_eq!(a.threads, None);
-        assert_eq!(a.out_dir, ".");
-        assert_eq!(a.stepping, None);
-        assert_eq!(a.stepping_or_default(), bml_sim::Stepping::EventDriven);
-    }
-
-    #[test]
-    fn explicit_days_survive_even_at_a_binary_default_value() {
-        // `--days 87` must be distinguishable from "no --days": binaries
-        // with smaller defaults must not silently shrink an explicit 87.
-        let a = parse(&["--days", "87"]);
-        assert_eq!(a.days, Some(87));
-        assert_eq!(a.days_or(3), 87);
-    }
-
-    #[test]
-    fn all_flags() {
-        let a = parse(&[
-            "--seed",
-            "7",
-            "--days",
-            "3",
-            "--window",
-            "600",
-            "--noise",
-            "0.2",
-            "--csv",
-            "--json",
-            "out.json",
-            "--threads",
-            "4",
-            "--out-dir",
-            "artifacts",
-            "--stepping",
-            "per-second",
-        ]);
-        assert_eq!(a.seed, 7);
-        assert_eq!(a.days, Some(3));
-        assert_eq!(a.window, Some(600));
-        assert_eq!(a.noise, 0.2);
-        assert!(a.csv);
-        assert_eq!(a.json.as_deref(), Some("out.json"));
-        assert_eq!(a.threads, Some(4));
-        assert_eq!(a.out_dir, "artifacts");
-        assert_eq!(a.stepping, Some(bml_sim::Stepping::PerSecond));
-    }
-
-    #[test]
-    fn stepping_aliases() {
-        assert_eq!(
-            parse(&["--stepping", "event-driven"]).stepping,
-            Some(bml_sim::Stepping::EventDriven)
-        );
-        assert_eq!(
-            parse(&["--stepping", "per_second"]).stepping,
-            Some(bml_sim::Stepping::PerSecond)
-        );
-    }
-
-    #[test]
-    fn unknown_flag_reports_usage() {
-        let err = try_parse(&["--bogus"]).unwrap_err();
-        assert!(err.contains("unknown flag '--bogus'"), "{err}");
-        assert!(err.contains("usage:"), "{err}");
-        assert!(err.contains("--threads N"), "{err}");
-        assert!(err.contains("--out-dir PATH"), "{err}");
-    }
-
-    #[test]
-    fn missing_and_bad_values_report_usage() {
-        let err = try_parse(&["--threads"]).unwrap_err();
-        assert!(err.contains("missing value for --threads"), "{err}");
-        assert!(err.contains("usage:"), "{err}");
-        let err = try_parse(&["--threads", "zero"]).unwrap_err();
-        assert!(err.contains("bad value 'zero' for --threads"), "{err}");
-        let err = try_parse(&["--threads", "0"]).unwrap_err();
-        assert!(err.contains("at least 1"), "{err}");
-        let err = try_parse(&["--stepping", "warp"]).unwrap_err();
-        assert!(err.contains("bad value 'warp' for --stepping"), "{err}");
-    }
-
-    #[test]
-    fn help_is_the_usage_line() {
-        assert_eq!(try_parse(&["--help"]).unwrap_err(), USAGE);
-        assert_eq!(try_parse(&["-h"]).unwrap_err(), USAGE);
-    }
-
-    #[test]
-    fn pool_honors_threads() {
-        let mut a = parse(&["--threads", "3"]);
-        assert_eq!(a.pool().current_num_threads(), 3);
-        a.threads = None;
-        assert!(a.pool().current_num_threads() >= 1);
-    }
-
-    #[test]
-    fn json_reexport_renders() {
-        // The builder itself is tested in bml-grid; pin the re-export.
-        assert_eq!(json::Object::new().int("d", 0).render(), "{\"d\":0}");
-    }
-}

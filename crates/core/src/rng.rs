@@ -26,6 +26,13 @@
 //! pin [`splitmix64`] to the published reference vector; change nothing
 //! here without bumping every artifact schema that embeds seeds.
 
+/// Version tag of the keying scheme documented above. Content-addressed
+/// caches (bml-grid's cell cache) fold this into their keys: any change
+/// to the derivations — a new mixing function, different counter
+/// nesting, a resample-boundary change — must bump it so cached results
+/// computed under the old scheme are invalidated instead of replayed.
+pub const KEYING_VERSION: &str = "bml-rng/v1";
+
 /// The splitmix64 mixing function (Steele, Lea & Flood 2014): the
 /// standard way to expand one root seed into a stream of decorrelated
 /// values. Pure, so derived seeds never depend on execution order or

@@ -1,14 +1,16 @@
 //! Versioned grid artifacts: `BENCH_grid.json` and `BENCH_grid.csv`.
 //!
-//! # Schema (`bml-grid/v3`)
+//! # Schema (`bml-grid/v4`)
 //!
 //! ```text
 //! {
-//!   "schema":   "bml-grid/v3",
+//!   "schema":   "bml-grid/v4",
 //!   "name":     <spec name>,
 //!   "root_seed": <u64>,
 //!   "n_cells":  <usize>,
 //!   "dimensions": { <dimension>: [<value label>, ...], ... },   // spec order
+//!   "refine":   null | { "rounds", "budget_cells",
+//!                        "seeded_cells", "final_cells" },
 //!   "cells": [ { "index", "seed" (decimal string — full-range u64),
 //!                <7 dimension labels>,
 //!                "total_energy_j", "mean_power_w", "qos_shortfall",
@@ -27,27 +29,40 @@
 //! The artifact deliberately records **no** wall-clock times, thread
 //! counts, hostnames or dates: for a fixed spec and root seed the
 //! rendered bytes are identical on any machine at any `--threads`
-//! setting. Perf telemetry belongs next to the artifact (CI logs, the
-//! grid binary's stderr), not inside it. Bump the `schema` string on any
-//! field change; consumers match on it.
+//! setting, with a cold or warm cell cache. Perf telemetry belongs next
+//! to the artifact (CI logs, the grid binary's stderr), not inside it.
+//! Bump the `schema` string on any field change; consumers match on it.
+//!
+//! # Streaming
+//!
+//! The render is factored into three byte-exact parts so the
+//! [`crate::stream::StreamingArtifactWriter`] can append cells as they
+//! complete instead of assembling the whole document at the end:
+//! [`json_prologue`] (everything before the cells, known from the spec
+//! alone), [`render_cell_json`] / [`render_cell_csv`] (one cell, no
+//! separators), and [`json_epilogue`] (aggregates — they need every
+//! cell, so they close the document). [`render_json`] and [`render_csv`]
+//! are defined as the concatenation of those parts, which is what makes
+//! "streamed file == in-memory render" a structural identity rather than
+//! a test hope (the test pins it anyway).
 
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::aggregate::{pareto_frontier, per_dimension_bests};
-use crate::executor::GridOutcome;
+use crate::executor::{CellRecord, GridOutcome};
 use crate::json::Object;
-use crate::spec::DIMENSIONS;
+use crate::refine::RefineMeta;
+use crate::spec::{GridSpec, DIMENSIONS};
 
-/// Current artifact schema identifier. v3 added `optimal_energy_j`
-/// (the replay-verified offline optimum from `bml-opt`'s segment DP,
-/// shared by every cell with the same trace/catalog/split) and
-/// `optimality_gap` (`(total - optimal) / optimal`, `null` when the
-/// optimum is zero); cell seeds and all v2 fields are unchanged. v2
-/// added `stepping_effective` (the loop the engine actually ran —
-/// counter-based sampling keeps noisy and failure cells on the event
-/// path, and consumers gate on no silent fallback).
-pub const SCHEMA: &str = "bml-grid/v3";
+/// Current artifact schema identifier. v4 added the top-level `refine`
+/// field (`null` for exhaustive runs; round/budget provenance for
+/// artifacts produced by adaptive refinement) and is the first schema
+/// emitted by the streaming writer — cell rows and all v3 fields are
+/// unchanged. v3 added `optimal_energy_j` / `optimality_gap` (the
+/// replay-verified offline optimum from `bml-opt`). v2 added
+/// `stepping_effective` (the loop the engine actually ran).
+pub const SCHEMA: &str = "bml-grid/v4";
 
 /// JSON artifact file name.
 pub const JSON_NAME: &str = "BENCH_grid.json";
@@ -55,47 +70,74 @@ pub const JSON_NAME: &str = "BENCH_grid.json";
 /// CSV artifact file name.
 pub const CSV_NAME: &str = "BENCH_grid.csv";
 
-/// Render the versioned JSON artifact (no trailing newline).
-pub fn render_json(out: &GridOutcome) -> String {
+/// Everything before the first cell object: document header, dimension
+/// value lists, refinement provenance, and the opening `"cells":[`.
+/// Computable from the spec alone, so the streaming writer emits it
+/// before any cell has run.
+pub fn json_prologue(spec: &GridSpec, n_cells: usize, refine: Option<&RefineMeta>) -> String {
     let mut dims = Object::new();
     for (d, name) in DIMENSIONS.iter().enumerate() {
-        dims = dims.strs(name, &out.spec.dimension_values(d));
+        dims = dims.strs(name, &spec.dimension_values(d));
     }
-    let cells = out
-        .cells
-        .iter()
-        .map(|c| {
-            // The seed is a full-range u64; emitted as a decimal string
-            // because values above 2^53 silently lose precision in
-            // double-based JSON consumers, and the seed's whole purpose
-            // is exact cell reproduction.
-            let mut o = Object::new()
-                .int("index", c.coords.index as u64)
-                .str("seed", &c.coords.seed.to_string());
-            for (name, label) in DIMENSIONS.iter().zip(&c.labels) {
-                o = o.str(name, label);
-            }
-            let s = &c.summary;
-            o.num("total_energy_j", s.total_energy_j)
-                .num("mean_power_w", s.mean_power_w)
-                .num("qos_shortfall", s.qos_shortfall)
-                .int("violation_seconds", s.violation_seconds)
-                .num("worst_shortfall", s.worst_shortfall)
-                .int("reconfigurations", s.reconfigurations)
-                .int("nodes_switched_on", s.nodes_switched_on)
-                .int("nodes_switched_off", s.nodes_switched_off)
-                .num("reconfig_energy_j", s.reconfig_energy_j)
-                .int("instance_migrations", s.instance_migrations)
-                .str(
-                    "stepping_effective",
-                    crate::spec::stepping_label(s.stepping_effective),
-                )
-                // `num` renders non-finite as null, so absent optima
-                // (and zero-optimum gaps) come out as JSON null.
-                .num("optimal_energy_j", s.optimal_energy_j.unwrap_or(f64::NAN))
-                .num("optimality_gap", s.optimality_gap.unwrap_or(f64::NAN))
-        })
-        .collect();
+    let head = Object::new()
+        .str("schema", SCHEMA)
+        .str("name", &spec.name)
+        .int("root_seed", spec.root_seed)
+        .int("n_cells", n_cells as u64);
+    let head = match refine {
+        None => head.obj("dimensions", dims).null("refine"),
+        Some(m) => head.obj("dimensions", dims).obj(
+            "refine",
+            Object::new()
+                .int("rounds", m.rounds)
+                .int("budget_cells", m.budget_cells)
+                .int("seeded_cells", m.seeded_cells)
+                .int("final_cells", m.final_cells),
+        ),
+    }
+    .render();
+    // Reopen the rendered header object to splice the cells array in.
+    format!("{},\"cells\":[", &head[..head.len() - 1])
+}
+
+/// One cell as a JSON object (no surrounding separators).
+pub fn render_cell_json(c: &CellRecord) -> String {
+    // The seed is a full-range u64; emitted as a decimal string
+    // because values above 2^53 silently lose precision in
+    // double-based JSON consumers, and the seed's whole purpose
+    // is exact cell reproduction.
+    let mut o = Object::new()
+        .int("index", c.coords.index as u64)
+        .str("seed", &c.coords.seed.to_string());
+    for (name, label) in DIMENSIONS.iter().zip(&c.labels) {
+        o = o.str(name, label);
+    }
+    let s = &c.summary;
+    o.num("total_energy_j", s.total_energy_j)
+        .num("mean_power_w", s.mean_power_w)
+        .num("qos_shortfall", s.qos_shortfall)
+        .int("violation_seconds", s.violation_seconds)
+        .num("worst_shortfall", s.worst_shortfall)
+        .int("reconfigurations", s.reconfigurations)
+        .int("nodes_switched_on", s.nodes_switched_on)
+        .int("nodes_switched_off", s.nodes_switched_off)
+        .num("reconfig_energy_j", s.reconfig_energy_j)
+        .int("instance_migrations", s.instance_migrations)
+        .str(
+            "stepping_effective",
+            crate::spec::stepping_label(s.stepping_effective),
+        )
+        // `num` renders non-finite as null, so absent optima
+        // (and zero-optimum gaps) come out as JSON null.
+        .num("optimal_energy_j", s.optimal_energy_j.unwrap_or(f64::NAN))
+        .num("optimality_gap", s.optimality_gap.unwrap_or(f64::NAN))
+        .render()
+}
+
+/// Everything after the last cell: the aggregates (per-dimension bests
+/// and the Pareto frontier — they need the full cell set, which is why
+/// they close the streamed document) and the closing brace.
+pub fn json_epilogue(out: &GridOutcome) -> String {
     let bests = per_dimension_bests(out)
         .into_iter()
         .map(|b| {
@@ -108,16 +150,30 @@ pub fn render_json(out: &GridOutcome) -> String {
         })
         .collect();
     let pareto: Vec<f64> = pareto_frontier(out).iter().map(|&i| i as f64).collect();
-    Object::new()
-        .str("schema", SCHEMA)
-        .str("name", &out.spec.name)
-        .int("root_seed", out.spec.root_seed)
-        .int("n_cells", out.cells.len() as u64)
-        .obj("dimensions", dims)
-        .objs("cells", cells)
+    let tail = Object::new()
         .objs("best_by_dimension", bests)
         .nums("pareto_energy_vs_qos", &pareto)
-        .render()
+        .render();
+    // Close the cells array, then splice the aggregate fields in.
+    format!("],{}", &tail[1..])
+}
+
+/// Render the versioned JSON artifact (no trailing newline) with
+/// refinement provenance.
+pub fn render_json_with(out: &GridOutcome, refine: Option<&RefineMeta>) -> String {
+    let cells: Vec<String> = out.cells.iter().map(render_cell_json).collect();
+    format!(
+        "{}{}{}",
+        json_prologue(&out.spec, out.cells.len(), refine),
+        cells.join(","),
+        json_epilogue(out)
+    )
+}
+
+/// Render the versioned JSON artifact of an exhaustive run
+/// (`"refine":null`; no trailing newline).
+pub fn render_json(out: &GridOutcome) -> String {
+    render_json_with(out, None)
 }
 
 /// CSV column headers: coordinates, labels, then the summary fields.
@@ -126,6 +182,11 @@ const CSV_HEADER: &str = "index,seed,trace,catalog,scheduler,window,noise_sigma,
                           worst_shortfall,reconfigurations,nodes_switched_on,nodes_switched_off,\
                           reconfig_energy_j,instance_migrations,stepping_effective,\
                           optimal_energy_j,optimality_gap";
+
+/// The CSV header row, newline-terminated (the streaming prologue).
+pub fn csv_header_line() -> String {
+    format!("{CSV_HEADER}\n")
+}
 
 /// RFC-4180 field quoting: labels are free-form (custom catalog names may
 /// hold commas or quotes), so any field containing a delimiter, quote or
@@ -138,46 +199,52 @@ fn csv_field(s: &str) -> String {
     }
 }
 
+/// One cell as a newline-terminated CSV row.
+pub fn render_cell_csv(c: &CellRecord) -> String {
+    let m = &c.summary;
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+        c.coords.index,
+        c.coords.seed,
+        csv_field(&c.labels[0]),
+        csv_field(&c.labels[1]),
+        csv_field(&c.labels[2]),
+        csv_field(&c.labels[3]),
+        csv_field(&c.labels[4]),
+        csv_field(&c.labels[5]),
+        csv_field(&c.labels[6]),
+        m.total_energy_j,
+        m.mean_power_w,
+        m.qos_shortfall,
+        m.violation_seconds,
+        m.worst_shortfall,
+        m.reconfigurations,
+        m.nodes_switched_on,
+        m.nodes_switched_off,
+        m.reconfig_energy_j,
+        m.instance_migrations,
+        crate::spec::stepping_label(m.stepping_effective),
+        // Empty cells (no optimality pass / zero optimum) stay empty —
+        // CSV readers parse them as missing, not as zero.
+        m.optimal_energy_j.map_or(String::new(), |v| v.to_string()),
+        m.optimality_gap.map_or(String::new(), |v| v.to_string()),
+    )
+}
+
 /// Render the flat per-cell CSV artifact (header + one row per cell).
 pub fn render_csv(out: &GridOutcome) -> String {
-    let mut s = String::from(CSV_HEADER);
-    s.push('\n');
+    let mut s = csv_header_line();
     for c in &out.cells {
-        let m = &c.summary;
-        s.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-            c.coords.index,
-            c.coords.seed,
-            csv_field(&c.labels[0]),
-            csv_field(&c.labels[1]),
-            csv_field(&c.labels[2]),
-            csv_field(&c.labels[3]),
-            csv_field(&c.labels[4]),
-            csv_field(&c.labels[5]),
-            csv_field(&c.labels[6]),
-            m.total_energy_j,
-            m.mean_power_w,
-            m.qos_shortfall,
-            m.violation_seconds,
-            m.worst_shortfall,
-            m.reconfigurations,
-            m.nodes_switched_on,
-            m.nodes_switched_off,
-            m.reconfig_energy_j,
-            m.instance_migrations,
-            crate::spec::stepping_label(m.stepping_effective),
-            // Empty cells (no optimality pass / zero optimum) stay empty —
-            // CSV readers parse them as missing, not as zero.
-            m.optimal_energy_j.map_or(String::new(), |v| v.to_string()),
-            m.optimality_gap.map_or(String::new(), |v| v.to_string()),
-        ));
+        s.push_str(&render_cell_csv(c));
     }
     s
 }
 
 /// Write both artifacts into `dir` (created if missing); returns the two
 /// paths (JSON, CSV). The JSON gets a trailing newline, like every other
-/// `BENCH_*.json` this repo emits.
+/// `BENCH_*.json` this repo emits. This is the one-shot path; long runs
+/// stream instead (see [`crate::stream::StreamingArtifactWriter`], which
+/// produces the same bytes incrementally).
 pub fn write_artifacts(out: &GridOutcome, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
     std::fs::create_dir_all(dir)?;
     let json_path = dir.join(JSON_NAME);
@@ -218,13 +285,49 @@ mod tests {
     fn json_has_schema_and_every_cell() {
         let out = outcome();
         let j = render_json(&out);
-        assert!(j.starts_with("{\"schema\":\"bml-grid/v3\""));
+        assert!(j.starts_with("{\"schema\":\"bml-grid/v4\""));
         assert!(j.contains("\"name\":\"artifact-unit\""));
         assert!(j.contains("\"n_cells\":2"));
+        assert!(j.contains("\"refine\":null"));
         assert!(j.contains("\"pareto_energy_vs_qos\":["));
         // One energy field per cell plus one per best-by-dimension entry.
         let n_bests = per_dimension_bests(&out).len();
         assert_eq!(j.matches("\"total_energy_j\":").count(), 2 + n_bests);
+    }
+
+    #[test]
+    fn render_is_the_concatenation_of_the_streaming_parts() {
+        let out = outcome();
+        let mut streamed = json_prologue(&out.spec, out.cells.len(), None);
+        for (i, c) in out.cells.iter().enumerate() {
+            if i > 0 {
+                streamed.push(',');
+            }
+            streamed.push_str(&render_cell_json(c));
+        }
+        streamed.push_str(&json_epilogue(&out));
+        assert_eq!(streamed, render_json(&out));
+        let mut csv = csv_header_line();
+        for c in &out.cells {
+            csv.push_str(&render_cell_csv(c));
+        }
+        assert_eq!(csv, render_csv(&out));
+    }
+
+    #[test]
+    fn refine_provenance_is_embedded_when_present() {
+        let out = outcome();
+        let meta = RefineMeta {
+            rounds: 3,
+            budget_cells: 10_000,
+            seeded_cells: 144,
+            final_cells: out.cells.len() as u64,
+        };
+        let j = render_json_with(&out, Some(&meta));
+        assert!(j.contains(
+            "\"refine\":{\"rounds\":3,\"budget_cells\":10000,\"seeded_cells\":144,\"final_cells\":2}"
+        ));
+        assert!(!j.contains("\"refine\":null"));
     }
 
     #[test]
@@ -281,7 +384,7 @@ mod tests {
     }
 
     #[test]
-    fn v3_carries_the_optimality_columns() {
+    fn v4_carries_the_optimality_columns() {
         let out = outcome();
         let j = render_json(&out);
         assert_eq!(

@@ -1,20 +1,51 @@
-//! Grid execution: resolve a [`GridSpec`]'s traces and catalogs once,
-//! fan every cell out over the shared `bml-sim` cell executor, and
-//! collect per-cell summaries in enumeration order.
+//! Grid execution behind the [`GridRunner`] API.
 //!
-//! Determinism: traces and infrastructures are resolved eagerly (so
-//! resolution cost is paid once, not per cell), cells carry seeds derived
-//! purely from the root seed and their enumeration index, and
-//! [`bml_sim::exec::run_cells`] returns results in input order whatever
-//! the worker count — so [`run_grid`]'s outcome, and every artifact
-//! rendered from it, is identical at 1 thread and at N.
+//! A run resolves the spec's traces and catalogs once, solves the offline
+//! optimum per distinct `(trace, catalog, split)` triple up front, then
+//! fans the cells out over the shared `bml-sim` cell executor in batches,
+//! optionally short-circuiting each cell through the content-addressed
+//! [`crate::cache::CellCache`] and streaming each completed record to a
+//! [`crate::stream::CellSink`] in enumeration order.
+//!
+//! Determinism: cells carry seeds derived purely from the root seed and
+//! their enumeration index, [`bml_sim::exec::run_cells`] returns results
+//! in input order whatever the worker count, cached summaries are stored
+//! without (and re-stamped with) their optima — so the outcome, and every
+//! artifact rendered or streamed from it, is identical at 1 thread and at
+//! N, with a cold cache and a warm one.
+//!
+//! ```no_run
+//! # use bml_grid::{GridRunner, GridSpec};
+//! # fn demo(spec: &GridSpec) -> Result<(), String> {
+//! let run = GridRunner::new(spec)
+//!     .threads(8)
+//!     .cache_dir("/tmp/bml-cache")
+//!     .run()?;
+//! eprintln!("cache: {} hits / {} lookups", run.cache.hits, run.cache.lookups);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The pre-[`GridRunner`] entry point [`run_grid`] remains as a thin
+//! wrapper (no cache, no sink) for callers that just want an outcome.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use bml_core::scheduler::paper_window_length;
 use bml_sim::exec::{run_cells, CellConfig, CellJob};
 use bml_sim::{CellSummary, SimConfig};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{self, CacheStats, CellCache};
+use crate::refine::RefineMeta;
 use crate::spec::{CellCoords, GridSpec};
+use crate::stream::CellSink;
+
+/// Cells per fan-out batch: large enough to keep every worker busy,
+/// small enough that the streaming sink checkpoints to disk at a steady
+/// cadence on 10k+-cell grids.
+const STREAM_BATCH: usize = 1024;
 
 /// One executed cell: its coordinates, resolved dimension labels (in
 /// [`crate::spec::DIMENSIONS`] order), and result summary.
@@ -38,11 +69,129 @@ pub struct GridOutcome {
     pub cells: Vec<CellRecord>,
 }
 
-/// Execute every cell of `spec`, `threads`-wide (`None` = rayon default).
+/// A completed [`GridRunner`] run: the outcome plus the cache counters
+/// (all zero when no cache directory was configured).
+#[derive(Debug)]
+pub struct GridRun {
+    /// The executed grid.
+    pub outcome: GridOutcome,
+    /// Cell/optimum cache hit counters for this run.
+    pub cache: CacheStats,
+}
+
+/// Configures and executes one grid run (builder-style).
 ///
-/// Fails fast on an invalid spec (unknown trace source, unbuildable
-/// catalog mix, empty dimension) without running anything.
+/// Replaces the old `run_grid(spec, threads)` positional call, which had
+/// no room for the cache directory or the streaming sink without growing
+/// a parameter list of `Option`s at every call site.
+pub struct GridRunner<'a> {
+    spec: &'a GridSpec,
+    threads: Option<usize>,
+    cache_dir: Option<PathBuf>,
+    sink: Option<&'a mut dyn CellSink>,
+}
+
+impl<'a> GridRunner<'a> {
+    /// A runner for `spec` with no thread cap, no cache, no sink.
+    pub fn new(spec: &'a GridSpec) -> Self {
+        GridRunner {
+            spec,
+            threads: None,
+            cache_dir: None,
+            sink: None,
+        }
+    }
+
+    /// Cap the worker-thread count (only changes wall-clock time, never
+    /// results).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Cap the worker-thread count from an optional CLI flag (`None` =
+    /// rayon's default).
+    #[must_use]
+    pub fn threads_opt(mut self, n: Option<usize>) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Enable the content-addressed cell cache rooted at `dir`.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable the cache from an optional CLI flag.
+    #[must_use]
+    pub fn cache_dir_opt(mut self, dir: Option<impl Into<PathBuf>>) -> Self {
+        self.cache_dir = dir.map(Into::into);
+        self
+    }
+
+    /// Stream completed cells (enumeration order) into `sink`.
+    #[must_use]
+    pub fn sink(mut self, sink: &'a mut dyn CellSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Execute every cell of the spec.
+    ///
+    /// Fails fast on an invalid spec (unknown trace source, unbuildable
+    /// catalog mix, empty dimension) without running anything; cache and
+    /// sink I/O errors are reported as strings, like spec errors.
+    pub fn run(self) -> Result<GridRun, String> {
+        let spec = self.spec;
+        let mut sink = self.sink;
+        execute(
+            spec,
+            self.threads,
+            self.cache_dir.as_deref(),
+            None,
+            &mut sink,
+        )
+    }
+
+    /// Adaptively refine the spec instead of running it exhaustively —
+    /// see [`crate::refine`] for the bisection strategy and
+    /// [`crate::refine::RefineBudget`] for the caps.
+    pub fn refine(
+        self,
+        budget: &crate::refine::RefineBudget,
+    ) -> Result<crate::refine::RefineOutcome, String> {
+        crate::refine::drive(
+            self.spec,
+            self.threads,
+            self.cache_dir.as_deref(),
+            self.sink,
+            budget,
+        )
+    }
+}
+
+/// Execute every cell of `spec`, `threads`-wide (`None` = rayon default),
+/// without cache or sink. Thin compatibility wrapper over [`GridRunner`].
 pub fn run_grid(spec: &GridSpec, threads: Option<usize>) -> Result<GridOutcome, String> {
+    GridRunner::new(spec)
+        .threads_opt(threads)
+        .run()
+        .map(|r| r.outcome)
+}
+
+/// The one execution path behind [`GridRunner::run`] and the refinement
+/// driver. `refine_meta` is embedded in the streamed prologue when the
+/// stream is a refinement's final artifact.
+pub(crate) fn execute(
+    spec: &GridSpec,
+    threads: Option<usize>,
+    cache_dir: Option<&std::path::Path>,
+    refine_meta: Option<&RefineMeta>,
+    sink: &mut Option<&mut dyn CellSink>,
+) -> Result<GridRun, String> {
     spec.validate()?;
     let traces: Vec<_> = spec
         .traces
@@ -55,19 +204,81 @@ pub fn run_grid(spec: &GridSpec, threads: Option<usize>) -> Result<GridOutcome, 
         .map(|c| c.resolve())
         .collect::<Result<_, _>>()?;
 
+    let mut stats = CacheStats::default();
+    let cache = match cache_dir {
+        Some(dir) => {
+            Some(CellCache::open(dir).map_err(|e| format!("cache dir {}: {e}", dir.display()))?)
+        }
+        None => None,
+    };
+    // Digests are only needed for keying; skip the (trace-length) hashing
+    // work entirely on uncached runs.
+    let trace_digests: Vec<String> = match &cache {
+        Some(_) => traces.iter().map(cache::trace_digest).collect(),
+        None => Vec::new(),
+    };
+    let catalog_digests: Vec<String> = match &cache {
+        Some(_) => catalogs.iter().map(cache::catalog_digest).collect(),
+        None => Vec::new(),
+    };
+
+    // Optima first: one verified solve per distinct (trace, catalog,
+    // split) triple — the only dimensions the optimum depends on. Solving
+    // before the fan-out lets each record be stamped (and streamed)
+    // complete the moment its cell finishes.
+    let opt_options = bml_opt::OptOptions::default();
+    let mut optima: BTreeMap<(usize, usize, usize), f64> = BTreeMap::new();
+    for t in 0..traces.len() {
+        for c in 0..catalogs.len() {
+            for (s, &split) in spec.splits.iter().enumerate() {
+                let cached = cache.as_ref().map(|cache| {
+                    stats.opt_lookups += 1;
+                    let key =
+                        cache::opt_key(&trace_digests[t], &catalog_digests[c], split, &opt_options);
+                    let hit = cache.load_opt(&key);
+                    if hit.is_some() {
+                        stats.opt_hits += 1;
+                    }
+                    (key, hit)
+                });
+                let energy = match &cached {
+                    Some((_, Some(energy))) => *energy,
+                    _ => {
+                        let (sched, _) =
+                            bml_opt::solve_verified(&traces[t], &catalogs[c], split, &opt_options)
+                                .expect("exact DP cannot dead-end");
+                        if let (Some(cache), Some((key, None))) = (&cache, &cached) {
+                            cache
+                                .store_opt(key, sched.energy_j)
+                                .map_err(|e| format!("cache write: {e}"))?;
+                        }
+                        sched.energy_j
+                    }
+                };
+                optima.insert((t, c, s), energy);
+            }
+        }
+    }
+
     let coords = spec.cells();
+    if let Some(sink) = sink.as_deref_mut() {
+        sink.begin(spec, coords.len(), refine_meta)
+            .map_err(|e| format!("artifact stream: {e}"))?;
+    }
+
     let base = SimConfig::default();
-    let jobs: Vec<CellJob<'_>> = coords
-        .iter()
-        .map(|c| {
-            let bml = &catalogs[c.catalog];
-            let window = spec.windows[c.window];
-            let split = spec.splits[c.split];
-            let window_s = window.unwrap_or_else(|| paper_window_length(bml.candidates()));
-            CellJob {
-                trace: &traces[c.trace],
-                bml,
-                cell: CellConfig {
+    let mut cells: Vec<CellRecord> = Vec::with_capacity(coords.len());
+    for batch in coords.chunks(STREAM_BATCH) {
+        // Cache lookups first; the parallel fan-out then only sees the
+        // misses (in enumeration order, so results align back by index).
+        let configs: Vec<CellConfig> = batch
+            .iter()
+            .map(|c| {
+                let bml = &catalogs[c.catalog];
+                let window = spec.windows[c.window];
+                let split = spec.splits[c.split];
+                let window_s = window.unwrap_or_else(|| paper_window_length(bml.candidates()));
+                CellConfig {
                     scheduler: spec.schedulers[c.scheduler].resolve(window_s, split),
                     window,
                     noise_sigma: spec.noise_sigmas[c.sigma],
@@ -75,62 +286,88 @@ pub fn run_grid(spec: &GridSpec, threads: Option<usize>) -> Result<GridOutcome, 
                     split,
                     stepping: spec.steppings[c.stepping],
                     ..CellConfig::from_sim(&base)
-                },
-            }
-        })
-        .collect();
+                }
+            })
+            .collect();
+        let mut summaries: Vec<Option<CellSummary>> = Vec::with_capacity(batch.len());
+        let mut keys: Vec<Option<String>> = Vec::with_capacity(batch.len());
+        for (c, config) in batch.iter().zip(&configs) {
+            let (key, summary) = match &cache {
+                Some(cache) => {
+                    stats.lookups += 1;
+                    let key = cache::cell_key(
+                        &trace_digests[c.trace],
+                        &catalog_digests[c.catalog],
+                        config,
+                    );
+                    let hit = cache.load_cell(&key);
+                    if hit.is_some() {
+                        stats.hits += 1;
+                    }
+                    (Some(key), hit)
+                }
+                None => (None, None),
+            };
+            keys.push(key);
+            summaries.push(summary);
+        }
 
-    let results = run_cells(&jobs, threads);
-    let mut cells: Vec<CellRecord> = coords
-        .into_iter()
-        .zip(results)
-        .map(|(coords, result)| CellRecord {
-            labels: spec.cell_labels(&coords),
-            coords,
-            summary: result.summary(),
-        })
-        .collect();
-    attach_optimal_energies(spec, &traces, &catalogs, &mut cells);
-    Ok(GridOutcome {
+        let miss_idx: Vec<usize> = (0..batch.len())
+            .filter(|&i| summaries[i].is_none())
+            .collect();
+        let jobs: Vec<CellJob<'_>> = miss_idx
+            .iter()
+            .map(|&i| CellJob {
+                trace: &traces[batch[i].trace],
+                bml: &catalogs[batch[i].catalog],
+                cell: configs[i].clone(),
+            })
+            .collect();
+        let results = run_cells(&jobs, threads);
+        for (&i, result) in miss_idx.iter().zip(results) {
+            let summary = result.summary();
+            if let (Some(cache), Some(key)) = (&cache, &keys[i]) {
+                cache
+                    .store_cell(key, &summary)
+                    .map_err(|e| format!("cache write: {e}"))?;
+            }
+            summaries[i] = Some(summary);
+        }
+
+        for (c, summary) in batch.iter().zip(summaries) {
+            let mut summary = summary.expect("every cell is either cached or computed");
+            let optimal = optima[&(c.trace, c.catalog, c.split)];
+            summary.optimal_energy_j = Some(optimal);
+            summary.optimality_gap = if optimal > 0.0 {
+                Some((summary.total_energy_j - optimal) / optimal)
+            } else {
+                None
+            };
+            let record = CellRecord {
+                labels: spec.cell_labels(c),
+                coords: *c,
+                summary,
+            };
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.cell(&record)
+                    .map_err(|e| format!("artifact stream: {e}"))?;
+            }
+            cells.push(record);
+        }
+    }
+
+    let outcome = GridOutcome {
         spec: spec.clone(),
         cells,
-    })
-}
-
-/// Solve the offline optimum once per distinct `(trace, catalog, split)`
-/// triple — the only dimensions the optimum depends on — replay-verify
-/// each schedule through the simulator (`bml_opt::solve_verified` panics
-/// on >1e-9 divergence), and stamp `optimal_energy_j` / `optimality_gap`
-/// onto every cell sharing the triple. Runs serially after the cell
-/// fan-out; solves are deterministic, so artifacts stay byte-identical
-/// across thread counts.
-fn attach_optimal_energies(
-    spec: &GridSpec,
-    traces: &[bml_trace::LoadTrace],
-    catalogs: &[bml_core::bml::BmlInfrastructure],
-    cells: &mut [CellRecord],
-) {
-    let mut optima: std::collections::BTreeMap<(usize, usize, usize), f64> =
-        std::collections::BTreeMap::new();
-    for cell in cells.iter_mut() {
-        let key = (cell.coords.trace, cell.coords.catalog, cell.coords.split);
-        let optimal = *optima.entry(key).or_insert_with(|| {
-            let (sched, _) = bml_opt::solve_verified(
-                &traces[key.0],
-                &catalogs[key.1],
-                spec.splits[key.2],
-                &bml_opt::OptOptions::default(),
-            )
-            .expect("exact DP cannot dead-end");
-            sched.energy_j
-        });
-        cell.summary.optimal_energy_j = Some(optimal);
-        cell.summary.optimality_gap = if optimal > 0.0 {
-            Some((cell.summary.total_energy_j - optimal) / optimal)
-        } else {
-            None
-        };
+    };
+    if let Some(sink) = sink.as_deref_mut() {
+        sink.finish(&outcome)
+            .map_err(|e| format!("artifact stream: {e}"))?;
     }
+    Ok(GridRun {
+        outcome,
+        cache: stats,
+    })
 }
 
 #[cfg(test)]
@@ -195,5 +432,38 @@ mod tests {
         let mut spec = small_spec();
         spec.traces[0].source = "bogus".into();
         assert!(run_grid(&spec, None).is_err());
+        assert!(GridRunner::new(&spec).run().is_err());
+    }
+
+    #[test]
+    fn runner_without_cache_reports_zero_stats() {
+        let run = GridRunner::new(&small_spec()).threads(2).run().unwrap();
+        assert_eq!(run.cache, CacheStats::default());
+        assert_eq!(run.outcome.cells.len(), 2);
+    }
+
+    #[test]
+    fn cached_run_equals_uncached_run() {
+        let dir = std::env::temp_dir().join("bml_grid_executor_cache_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = small_spec();
+        let plain = run_grid(&spec, Some(2)).unwrap();
+        let cold = GridRunner::new(&spec)
+            .threads(2)
+            .cache_dir(&dir)
+            .run()
+            .unwrap();
+        assert_eq!(cold.outcome, plain);
+        assert_eq!(cold.cache.hits, 0);
+        assert_eq!(cold.cache.lookups, 2);
+        let warm = GridRunner::new(&spec)
+            .threads(1)
+            .cache_dir(&dir)
+            .run()
+            .unwrap();
+        assert_eq!(warm.outcome, plain, "warm cache must not change results");
+        assert_eq!(warm.cache.hits, 2);
+        assert_eq!(warm.cache.opt_hits, warm.cache.opt_lookups);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

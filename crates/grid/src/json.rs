@@ -62,6 +62,13 @@ impl Object {
         self
     }
 
+    /// Add a literal `null` field.
+    #[must_use]
+    pub fn null(mut self, key: &str) -> Self {
+        self.fields.push((key.into(), "null".into()));
+        self
+    }
+
     /// Add a nested object.
     #[must_use]
     pub fn obj(mut self, key: &str, v: Object) -> Self {
@@ -130,6 +137,7 @@ mod tests {
             .int("days", 2)
             .num("energy", 1.5)
             .num("bad", f64::NAN)
+            .null("refine")
             .nums("daily", &[1.0, 2.5])
             .strs("tags", &["a".into(), "b\"c".into()])
             .obj("stats", Object::new().num("mean", 0.25))
@@ -137,8 +145,8 @@ mod tests {
         assert_eq!(
             o.render(),
             "{\"name\":\"fig5 \\\"smoke\\\"\",\"days\":2,\"energy\":1.5,\"bad\":null,\
-             \"daily\":[1,2.5],\"tags\":[\"a\",\"b\\\"c\"],\"stats\":{\"mean\":0.25},\
-             \"rows\":[{\"d\":0}]}"
+             \"refine\":null,\"daily\":[1,2.5],\"tags\":[\"a\",\"b\\\"c\"],\
+             \"stats\":{\"mean\":0.25},\"rows\":[{\"d\":0}]}"
         );
     }
 

@@ -14,12 +14,33 @@
 //! 6. **split** — load-split policy across online machines;
 //! 7. **stepping** — event-driven replay or the per-second reference —
 //!
-//! and [`run_grid`] executes every cell of the cross-product
-//! rayon-parallel over the shared `bml-sim` cell executor, streams the
-//! per-cell [`bml_sim::CellSummary`]s into the aggregator (per-dimension
-//! bests + the energy-vs-QoS Pareto frontier), and
-//! [`artifact::write_artifacts`] emits the versioned `BENCH_grid.json` and
-//! `BENCH_grid.csv`.
+//! and a [`GridRunner`] executes every cell of the cross-product
+//! rayon-parallel over the shared `bml-sim` cell executor:
+//!
+//! ```no_run
+//! # use bml_grid::{GridRunner, GridSpec, StreamingArtifactWriter};
+//! # fn demo(spec: &GridSpec) -> Result<(), String> {
+//! let mut sink = StreamingArtifactWriter::create("out".as_ref())
+//!     .map_err(|e| e.to_string())?;
+//! let run = GridRunner::new(spec)
+//!     .threads(8)                    // worker cap (wall clock only)
+//!     .cache_dir("/tmp/bml-cache")   // content-addressed cell cache
+//!     .sink(&mut sink)               // stream artifacts as cells finish
+//!     .run()?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Completed cells flow through the aggregator (per-dimension bests +
+//! the energy-vs-QoS Pareto frontier) into the versioned
+//! `BENCH_grid.json` and `BENCH_grid.csv` — streamed incrementally by the
+//! [`StreamingArtifactWriter`] or written at once by
+//! [`artifact::write_artifacts`]; both produce the same bytes. Repeat
+//! cells are served from the [`cache`] (keyed on *content*: trace bits,
+//! catalog constants, cell knobs, RNG keying and schema versions — never
+//! thread counts or hosts), and [`GridRunner::refine`] replaces
+//! exhaustive sweeps with Pareto-guided bisection of the numeric
+//! dimensions (see [`refine`]).
 //!
 //! # Determinism
 //!
@@ -55,11 +76,19 @@
 
 pub mod aggregate;
 pub mod artifact;
+pub mod cache;
 pub mod executor;
 pub mod json;
+pub mod refine;
 pub mod spec;
+pub mod stream;
 
 pub use aggregate::{pareto_frontier, per_dimension_bests, DimensionBest};
-pub use artifact::{render_csv, render_json, write_artifacts, SCHEMA};
-pub use executor::{run_grid, CellRecord, GridOutcome};
-pub use spec::{CatalogSpec, CellCoords, GridSpec, SchedulerDim, TraceSpec, DIMENSIONS};
+pub use artifact::{render_csv, render_json, render_json_with, write_artifacts, SCHEMA};
+pub use cache::{CacheStats, CellCache};
+pub use executor::{run_grid, CellRecord, GridOutcome, GridRun, GridRunner};
+pub use refine::{RefineBudget, RefineMeta, RefineOutcome};
+pub use spec::{
+    CatalogSpec, CellCoords, GridSpec, GridSpecBuilder, SchedulerDim, TraceSpec, DIMENSIONS,
+};
+pub use stream::{CellSink, StreamingArtifactWriter};

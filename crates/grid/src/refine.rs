@@ -1,0 +1,378 @@
+//! Adaptive grid refinement: spend the cell budget near the Pareto
+//! frontier instead of carpeting the cross-product.
+//!
+//! An exhaustive grid over fine-grained window and noise dimensions
+//! wastes most of its cells deep inside dominated regions. The
+//! refinement driver starts from a **coarse seed grid**, then repeats:
+//!
+//! 1. run the current grid (through the shared executor, so the cell
+//!    cache makes revisited cells free);
+//! 2. find the energy-vs-QoS Pareto frontier (duplicate frontier points
+//!    collapse to one representative — ties carry no signal);
+//! 3. for each *numeric* dimension (windows in seconds, noise sigmas):
+//!    keep the values that appear on the frontier plus their immediate
+//!    sorted-order neighbors, **drop everything else** (dominated
+//!    regions), and **bisect** each frontier-to-neighbor interval by
+//!    inserting its midpoint;
+//! 4. stop when the dimensions stop changing (convergence), the round
+//!    cap is hit, or the next grid would exceed the cell budget.
+//!
+//! The paper's `None` window (the 2x-longest-boot rule) is categorical,
+//! not numeric — it is never dropped or bisected. Everything is
+//! deterministic: same seed spec + budget → same rounds, same final
+//! spec, same artifact bytes.
+//!
+//! # Caching caveat
+//!
+//! Per-cell seeds derive from enumeration *position* (bml-grid/v1
+//! compatibility; stepping twins must share seeds), and refinement
+//! reshapes the grid between rounds — so a **noisy** cell that survives
+//! into a differently-shaped round draws a new seed and misses the
+//! cache. Clean cells (sigma 0) canonicalize the unused seed away (see
+//! [`bml_sim::exec::CellConfig::stable_descriptor`]) and always hit.
+
+use std::collections::BTreeSet;
+
+use crate::aggregate::pareto_frontier;
+use crate::cache::CacheStats;
+use crate::executor::{execute, GridOutcome};
+use crate::spec::GridSpec;
+use crate::stream::CellSink;
+
+/// Caps on one refinement drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineBudget {
+    /// Maximum refinement rounds after the seed run.
+    pub rounds: u32,
+    /// Hard cap on any single round's cell count: a refined grid whose
+    /// cross-product would exceed this is not run (the drive stops with
+    /// the last completed round's outcome).
+    pub max_cells: usize,
+}
+
+impl Default for RefineBudget {
+    fn default() -> Self {
+        RefineBudget {
+            rounds: 4,
+            max_cells: 20_000,
+        }
+    }
+}
+
+/// Refinement provenance embedded in the final artifact's `refine` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineMeta {
+    /// Refinement rounds executed after the seed run.
+    pub rounds: u64,
+    /// The configured per-round cell cap.
+    pub budget_cells: u64,
+    /// Cell count of the seed grid.
+    pub seeded_cells: u64,
+    /// Cell count of the final grid (the artifact's cells).
+    pub final_cells: u64,
+}
+
+/// One executed round's shape, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Round number (0 = the seed grid).
+    pub round: u32,
+    /// Cells in this round's grid.
+    pub n_cells: usize,
+    /// Window-dimension values in this round's grid.
+    pub n_windows: usize,
+    /// Sigma-dimension values in this round's grid.
+    pub n_sigmas: usize,
+}
+
+/// A completed refinement drive.
+#[derive(Debug)]
+pub struct RefineOutcome {
+    /// The final round's grid outcome (what the artifact renders).
+    pub outcome: GridOutcome,
+    /// Provenance for the artifact's `refine` field.
+    pub meta: RefineMeta,
+    /// Cache counters accumulated across every round.
+    pub cache: CacheStats,
+    /// Shape of each executed round, seed first.
+    pub rounds: Vec<RoundReport>,
+}
+
+/// The drive loop behind [`crate::executor::GridRunner::refine`].
+///
+/// Intermediate rounds run without a sink; the final outcome is replayed
+/// through `sink` (begin → cells in enumeration order → finish) with the
+/// [`RefineMeta`] embedded, so the streamed artifact carries its own
+/// provenance and is byte-identical to an in-memory render of the final
+/// outcome.
+pub(crate) fn drive(
+    seed: &GridSpec,
+    threads: Option<usize>,
+    cache_dir: Option<&std::path::Path>,
+    sink: Option<&mut dyn CellSink>,
+    budget: &RefineBudget,
+) -> Result<RefineOutcome, String> {
+    let mut no_sink: Option<&mut dyn CellSink> = None;
+    let mut spec = seed.clone();
+    let mut run = execute(&spec, threads, cache_dir, None, &mut no_sink)?;
+    let seeded_cells = run.outcome.cells.len() as u64;
+    let mut stats = run.cache;
+    let mut rounds = vec![RoundReport {
+        round: 0,
+        n_cells: run.outcome.cells.len(),
+        n_windows: spec.windows.len(),
+        n_sigmas: spec.noise_sigmas.len(),
+    }];
+
+    while rounds.len() as u32 <= budget.rounds {
+        let Some(next) = refine_spec(&spec, &run.outcome) else {
+            break; // converged: the frontier no longer moves the dims
+        };
+        if next.n_cells() > budget.max_cells {
+            break; // over budget: keep the last completed round
+        }
+        spec = next;
+        let r = execute(&spec, threads, cache_dir, None, &mut no_sink)?;
+        stats.absorb(r.cache);
+        run = r;
+        rounds.push(RoundReport {
+            round: rounds.len() as u32,
+            n_cells: run.outcome.cells.len(),
+            n_windows: spec.windows.len(),
+            n_sigmas: spec.noise_sigmas.len(),
+        });
+    }
+
+    let meta = RefineMeta {
+        rounds: rounds.len() as u64 - 1,
+        budget_cells: budget.max_cells as u64,
+        seeded_cells,
+        final_cells: run.outcome.cells.len() as u64,
+    };
+    if let Some(sink) = sink {
+        sink.begin(&run.outcome.spec, run.outcome.cells.len(), Some(&meta))
+            .map_err(|e| format!("artifact stream: {e}"))?;
+        for record in &run.outcome.cells {
+            sink.cell(record)
+                .map_err(|e| format!("artifact stream: {e}"))?;
+        }
+        sink.finish(&run.outcome)
+            .map_err(|e| format!("artifact stream: {e}"))?;
+    }
+    Ok(RefineOutcome {
+        outcome: run.outcome,
+        meta,
+        cache: stats,
+        rounds,
+    })
+}
+
+/// The refined spec for the next round, or `None` when the numeric
+/// dimensions are already stable (convergence).
+fn refine_spec(spec: &GridSpec, outcome: &GridOutcome) -> Option<GridSpec> {
+    // Duplicate frontier points (identical energy AND shortfall) are
+    // mutually non-dominating, so `pareto_frontier` keeps them all — but
+    // they carry no refinement signal: on a flat objective every value
+    // ties onto the frontier and "keep + bisect everything" would grow
+    // the grid instead of shrinking it. Collapse each distinct objective
+    // point to its first cell and let those guide the bisection.
+    let mut seen_points: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let guides: Vec<usize> = pareto_frontier(outcome)
+        .into_iter()
+        .filter(|&i| {
+            let s = &outcome.cells[i].summary;
+            seen_points.insert((s.total_energy_j.to_bits(), s.qos_shortfall.to_bits()))
+        })
+        .collect();
+    let frontier_windows: BTreeSet<Option<u64>> = guides
+        .iter()
+        .map(|&i| spec.windows[outcome.cells[i].coords.window])
+        .collect();
+    let frontier_sigmas: BTreeSet<u64> = guides
+        .iter()
+        .map(|&i| spec.noise_sigmas[outcome.cells[i].coords.sigma].to_bits())
+        .collect();
+
+    let windows = refine_windows(&spec.windows, &frontier_windows);
+    let sigmas = refine_sigmas(&spec.noise_sigmas, &frontier_sigmas);
+
+    let same_windows: bool =
+        windows.iter().collect::<BTreeSet<_>>() == spec.windows.iter().collect::<BTreeSet<_>>();
+    let same_sigmas: bool = sigmas.iter().map(|s| s.to_bits()).collect::<BTreeSet<_>>()
+        == spec.noise_sigmas.iter().map(|s| s.to_bits()).collect();
+    if same_windows && same_sigmas {
+        return None;
+    }
+    Some(GridSpec {
+        windows,
+        noise_sigmas: sigmas,
+        ..spec.clone()
+    })
+}
+
+/// Keep frontier window values and their sorted neighbors, drop the
+/// rest, bisect frontier-adjacent intervals (integer midpoints). `None`
+/// (the paper's rule) is categorical: kept when present, never bisected.
+fn refine_windows(old: &[Option<u64>], frontier: &BTreeSet<Option<u64>>) -> Vec<Option<u64>> {
+    let nums: BTreeSet<u64> = old.iter().filter_map(|&w| w).collect();
+    let nums: Vec<u64> = nums.into_iter().collect();
+    let frontier_nums: BTreeSet<u64> = frontier.iter().filter_map(|&w| w).collect();
+    let mut keep: BTreeSet<u64> = BTreeSet::new();
+    for &v in &frontier_nums {
+        let i = nums
+            .binary_search(&v)
+            .expect("frontier value is in the grid");
+        keep.insert(v);
+        for n in [i.checked_sub(1).map(|j| nums[j]), nums.get(i + 1).copied()]
+            .into_iter()
+            .flatten()
+        {
+            keep.insert(n);
+            let mid = v.midpoint(n);
+            if mid != v && mid != n {
+                keep.insert(mid);
+            }
+        }
+    }
+    let mut out: Vec<Option<u64>> = Vec::new();
+    if old.contains(&None) {
+        out.push(None);
+    }
+    out.extend(keep.into_iter().map(Some));
+    if out.is_empty() {
+        // Frontier entirely on `None` with no `None` in the dim cannot
+        // happen, but never return an empty dimension.
+        return old.to_vec();
+    }
+    out
+}
+
+/// Sigma counterpart of [`refine_windows`]: all values are numeric;
+/// midpoints only when the interval is meaningfully wide.
+fn refine_sigmas(old: &[f64], frontier_bits: &BTreeSet<u64>) -> Vec<f64> {
+    let nums: BTreeSet<u64> = old.iter().map(|s| s.to_bits()).collect();
+    let nums: Vec<f64> = nums.into_iter().map(f64::from_bits).collect();
+    // Validated sigmas are finite and non-negative, so bit order == value
+    // order and a sorted Vec<f64> is safe to binary-search by bits.
+    let mut keep: BTreeSet<u64> = BTreeSet::new();
+    for &vb in frontier_bits {
+        let v = f64::from_bits(vb);
+        let i = nums
+            .iter()
+            .position(|&s| s.to_bits() == vb)
+            .expect("frontier value is in the grid");
+        keep.insert(vb);
+        for n in [i.checked_sub(1).map(|j| nums[j]), nums.get(i + 1).copied()]
+            .into_iter()
+            .flatten()
+        {
+            keep.insert(n.to_bits());
+            if (n - v).abs() > 1e-6 {
+                keep.insert(((v + n) / 2.0).to_bits());
+            }
+        }
+    }
+    if keep.is_empty() {
+        return old.to_vec();
+    }
+    keep.into_iter().map(f64::from_bits).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::GridRunner;
+    use crate::spec::{CatalogSpec, SchedulerDim, TraceSpec};
+    use bml_core::combination::SplitPolicy;
+    use bml_sim::Stepping;
+
+    #[test]
+    fn windows_refine_drops_dominated_and_bisects() {
+        let old = vec![None, Some(100), Some(200), Some(400), Some(800)];
+        // Frontier sits on 200 only: 100 and 400 survive as neighbors,
+        // 800 is a dropped dominated region, midpoints 150 and 300 appear.
+        let frontier: BTreeSet<Option<u64>> = [Some(200)].into_iter().collect();
+        assert_eq!(
+            refine_windows(&old, &frontier),
+            vec![None, Some(100), Some(150), Some(200), Some(300), Some(400)]
+        );
+        // A frontier entirely on the categorical `None` keeps only it.
+        let none_only: BTreeSet<Option<u64>> = [None].into_iter().collect();
+        assert_eq!(refine_windows(&old, &none_only), vec![None]);
+        // Adjacent integers have no midpoint to insert.
+        let tight = vec![Some(10), Some(11)];
+        let f: BTreeSet<Option<u64>> = [Some(10)].into_iter().collect();
+        assert_eq!(refine_windows(&tight, &f), vec![Some(10), Some(11)]);
+    }
+
+    #[test]
+    fn sigmas_refine_bisects_wide_intervals_only() {
+        let old = vec![0.0, 0.2, 0.4];
+        let frontier: BTreeSet<u64> = [0.0f64.to_bits()].into_iter().collect();
+        assert_eq!(refine_sigmas(&old, &frontier), vec![0.0, 0.1, 0.2]);
+        // Sub-epsilon intervals stop splitting (convergence in the limit).
+        let narrow = vec![0.1, 0.1 + 5e-7];
+        let f: BTreeSet<u64> = [0.1f64.to_bits()].into_iter().collect();
+        assert_eq!(refine_sigmas(&narrow, &f), narrow);
+    }
+
+    fn seed_spec() -> GridSpec {
+        GridSpec {
+            name: "refine-unit".into(),
+            root_seed: 11,
+            traces: vec![TraceSpec {
+                source: "constant".into(),
+                days: 1,
+                seed: 0,
+            }],
+            catalogs: vec![CatalogSpec::paper_trio()],
+            schedulers: vec![SchedulerDim::Baseline],
+            windows: vec![None, Some(189), Some(756)],
+            noise_sigmas: vec![0.0, 0.4],
+            splits: vec![SplitPolicy::EfficiencyGreedy],
+            steppings: vec![Stepping::EventDriven],
+        }
+    }
+
+    #[test]
+    fn drive_is_deterministic_and_respects_caps() {
+        let budget = RefineBudget {
+            rounds: 2,
+            max_cells: 500,
+        };
+        let a = GridRunner::new(&seed_spec())
+            .threads(2)
+            .refine(&budget)
+            .unwrap();
+        let b = GridRunner::new(&seed_spec())
+            .threads(1)
+            .refine(&budget)
+            .unwrap();
+        assert_eq!(a.outcome, b.outcome, "refinement must be deterministic");
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(a.rounds, b.rounds);
+        assert!(a.meta.rounds <= 2);
+        assert_eq!(a.meta.seeded_cells, 6);
+        assert_eq!(a.meta.budget_cells, 500);
+        assert_eq!(a.meta.final_cells as usize, a.outcome.cells.len());
+        assert_eq!(a.rounds[0].n_cells, 6);
+        for r in &a.rounds[1..] {
+            assert!(r.n_cells <= budget.max_cells);
+        }
+    }
+
+    #[test]
+    fn one_value_dimensions_converge_immediately() {
+        let spec = GridSpec {
+            windows: vec![None],
+            noise_sigmas: vec![0.0],
+            ..seed_spec()
+        };
+        let out = GridRunner::new(&spec)
+            .threads(1)
+            .refine(&RefineBudget::default())
+            .unwrap();
+        assert_eq!(out.meta.rounds, 0, "nothing to bisect");
+        assert_eq!(out.meta.seeded_cells, out.meta.final_cells);
+    }
+}

@@ -262,7 +262,123 @@ pub struct CellCoords {
 /// every bml-grid/v1 artifact ever emitted.
 pub use bml_core::rng::splitmix64;
 
+/// Fluent constructor for [`GridSpec`] — see [`GridSpec::builder`].
+///
+/// Dimension setters replace the whole value list; [`build`] runs
+/// [`GridSpec::validate`], so a builder that returns `Ok` has already
+/// proven its trace sources registered, its catalog mixes buildable, and
+/// every dimension non-empty. Unset dimensions stay empty and fail
+/// validation with a named-dimension error rather than panicking later.
+///
+/// [`build`]: GridSpecBuilder::build
+#[derive(Debug, Clone)]
+pub struct GridSpecBuilder {
+    spec: GridSpec,
+}
+
+impl GridSpecBuilder {
+    /// Grid name recorded in the artifact (default `"grid"`).
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Root seed all per-cell seeds derive from (default 1998, the
+    /// workspace-wide default seed).
+    #[must_use]
+    pub fn root_seed(mut self, seed: u64) -> Self {
+        self.spec.root_seed = seed;
+        self
+    }
+
+    /// Set the trace dimension.
+    #[must_use]
+    pub fn traces(mut self, traces: Vec<TraceSpec>) -> Self {
+        self.spec.traces = traces;
+        self
+    }
+
+    /// Append one trace built from the registry-source triple.
+    #[must_use]
+    pub fn trace(mut self, source: impl Into<String>, days: u32, seed: u64) -> Self {
+        self.spec.traces.push(TraceSpec {
+            source: source.into(),
+            days,
+            seed,
+        });
+        self
+    }
+
+    /// Set the catalog dimension.
+    #[must_use]
+    pub fn catalogs(mut self, catalogs: Vec<CatalogSpec>) -> Self {
+        self.spec.catalogs = catalogs;
+        self
+    }
+
+    /// Set the scheduler dimension.
+    #[must_use]
+    pub fn schedulers(mut self, schedulers: Vec<SchedulerDim>) -> Self {
+        self.spec.schedulers = schedulers;
+        self
+    }
+
+    /// Set the window dimension (`None` = the paper's rule).
+    #[must_use]
+    pub fn windows(mut self, windows: Vec<Option<u64>>) -> Self {
+        self.spec.windows = windows;
+        self
+    }
+
+    /// Set the noise-sigma dimension.
+    #[must_use]
+    pub fn noise_sigmas(mut self, sigmas: Vec<f64>) -> Self {
+        self.spec.noise_sigmas = sigmas;
+        self
+    }
+
+    /// Set the split-policy dimension.
+    #[must_use]
+    pub fn splits(mut self, splits: Vec<SplitPolicy>) -> Self {
+        self.spec.splits = splits;
+        self
+    }
+
+    /// Set the stepping dimension.
+    #[must_use]
+    pub fn steppings(mut self, steppings: Vec<Stepping>) -> Self {
+        self.spec.steppings = steppings;
+        self
+    }
+
+    /// Validate and produce the spec ([`GridSpec::validate`] errors pass
+    /// through, so an `Ok` spec is runnable).
+    pub fn build(self) -> Result<GridSpec, String> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
 impl GridSpec {
+    /// Start a validated fluent construction. Defaults: name `"grid"`,
+    /// root seed 1998, every dimension empty (set each before `build`).
+    pub fn builder() -> GridSpecBuilder {
+        GridSpecBuilder {
+            spec: GridSpec {
+                name: "grid".into(),
+                root_seed: 1998,
+                traces: Vec::new(),
+                catalogs: Vec::new(),
+                schedulers: Vec::new(),
+                windows: Vec::new(),
+                noise_sigmas: Vec::new(),
+                splits: Vec::new(),
+                steppings: Vec::new(),
+            },
+        }
+    }
+
     /// Number of cells in the cross-product.
     pub fn n_cells(&self) -> usize {
         self.traces.len()
@@ -549,6 +665,62 @@ mod tests {
         }
         // Table I filters down to the paper's trio.
         assert_eq!(CatalogSpec::table1().resolve().unwrap().n_archs(), 3);
+    }
+
+    #[test]
+    fn builder_builds_validated_specs() {
+        let spec = GridSpec::builder()
+            .name("built")
+            .root_seed(7)
+            .trace("constant", 1, 0)
+            .trace("diurnal", 2, 5)
+            .catalogs(vec![CatalogSpec::paper_trio()])
+            .schedulers(vec![SchedulerDim::Baseline])
+            .windows(vec![None, Some(189)])
+            .noise_sigmas(vec![0.0])
+            .splits(vec![SplitPolicy::EfficiencyGreedy])
+            .steppings(vec![Stepping::EventDriven])
+            .build()
+            .unwrap();
+        assert_eq!(spec.name, "built");
+        assert_eq!(spec.n_cells(), 4);
+        assert_eq!(spec.traces[1].label(), "diurnal-2d-s5");
+
+        // Defaults: name "grid", root seed 1998.
+        let defaulted = GridSpec::builder()
+            .trace("constant", 1, 0)
+            .catalogs(vec![CatalogSpec::paper_trio()])
+            .schedulers(vec![SchedulerDim::Baseline])
+            .windows(vec![None])
+            .noise_sigmas(vec![0.0])
+            .splits(vec![SplitPolicy::EfficiencyGreedy])
+            .steppings(vec![Stepping::EventDriven])
+            .build()
+            .unwrap();
+        assert_eq!(defaulted.name, "grid");
+        assert_eq!(defaulted.root_seed, 1998);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_specs_at_build() {
+        // An unset dimension fails with its name, not a later panic.
+        let err = GridSpec::builder()
+            .trace("constant", 1, 0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("catalogs"), "{err}");
+        // Validation runs in full: bad sigmas are caught too.
+        let err = GridSpec::builder()
+            .trace("constant", 1, 0)
+            .catalogs(vec![CatalogSpec::paper_trio()])
+            .schedulers(vec![SchedulerDim::Baseline])
+            .windows(vec![None])
+            .noise_sigmas(vec![-1.0])
+            .splits(vec![SplitPolicy::EfficiencyGreedy])
+            .steppings(vec![Stepping::EventDriven])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("sigma"), "{err}");
     }
 
     #[test]

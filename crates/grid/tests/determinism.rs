@@ -1,39 +1,37 @@
 //! The grid's headline guarantee: for a fixed spec and root seed, the
 //! rendered artifacts are byte-identical at 1 worker thread and at N —
-//! parallelism changes wall-clock time, never results.
+//! and, since the cell cache landed, with a cold cache and a warm one.
+//! Parallelism and caching change wall-clock time, never results.
 
 use bml_core::combination::SplitPolicy;
-use bml_grid::spec::{CatalogSpec, GridSpec, SchedulerDim, TraceSpec};
-use bml_grid::{pareto_frontier, render_csv, render_json, run_grid};
+use bml_grid::spec::{CatalogSpec, GridSpec, SchedulerDim};
+use bml_grid::{pareto_frontier, render_csv, render_json, run_grid, GridRunner};
 use bml_sim::Stepping;
 
 /// A spec small enough for debug-mode CI but covering every dimension
 /// with >1 value somewhere, noise cells included (noise exercises the
 /// per-cell seeds, the part that could plausibly leak thread order).
 fn spec() -> GridSpec {
-    GridSpec {
-        name: "determinism".into(),
-        root_seed: 1998,
-        traces: vec![TraceSpec {
-            source: "square-bursts".into(),
-            days: 1,
-            seed: 5,
-        }],
-        catalogs: vec![CatalogSpec::paper_trio(), CatalogSpec::big_medium()],
-        schedulers: vec![SchedulerDim::Baseline, SchedulerDim::TransitionAware],
-        windows: vec![None],
-        noise_sigmas: vec![0.0, 0.15],
-        splits: vec![SplitPolicy::EfficiencyGreedy],
-        steppings: vec![Stepping::EventDriven],
-    }
+    GridSpec::builder()
+        .name("determinism")
+        .root_seed(1998)
+        .trace("square-bursts", 1, 5)
+        .catalogs(vec![CatalogSpec::paper_trio(), CatalogSpec::big_medium()])
+        .schedulers(vec![SchedulerDim::Baseline, SchedulerDim::TransitionAware])
+        .windows(vec![None])
+        .noise_sigmas(vec![0.0, 0.15])
+        .splits(vec![SplitPolicy::EfficiencyGreedy])
+        .steppings(vec![Stepping::EventDriven])
+        .build()
+        .unwrap()
 }
 
 #[test]
 fn artifacts_are_byte_identical_across_thread_counts() {
     let spec = spec();
-    let one = run_grid(&spec, Some(1)).unwrap();
-    let many = run_grid(&spec, Some(8)).unwrap();
-    let default = run_grid(&spec, None).unwrap();
+    let one = GridRunner::new(&spec).threads(1).run().unwrap().outcome;
+    let many = GridRunner::new(&spec).threads(8).run().unwrap().outcome;
+    let default = GridRunner::new(&spec).run().unwrap().outcome;
     assert_eq!(one, many, "outcomes diverged between 1 and 8 threads");
     assert_eq!(render_json(&one), render_json(&many));
     assert_eq!(render_json(&one), render_json(&default));
@@ -61,6 +59,70 @@ fn root_seed_reaches_the_noise_cells() {
         render_json(&b),
         "root seed had no effect on noisy cells"
     );
+}
+
+#[test]
+fn cold_and_warm_cache_render_the_same_bytes_across_thread_counts() {
+    let dir = std::env::temp_dir().join("bml_grid_determinism_cache");
+    std::fs::remove_dir_all(&dir).ok();
+    let spec = spec();
+    let uncached = run_grid(&spec, Some(4)).unwrap();
+    let cold = GridRunner::new(&spec)
+        .threads(8)
+        .cache_dir(&dir)
+        .run()
+        .unwrap();
+    assert_eq!(cold.cache.hits, 0, "first run must be all misses");
+    assert_eq!(cold.cache.lookups as usize, uncached.cells.len());
+    // Warm re-run at a *different* thread count: full hits, same bytes.
+    let warm = GridRunner::new(&spec)
+        .threads(1)
+        .cache_dir(&dir)
+        .run()
+        .unwrap();
+    assert_eq!(
+        warm.cache.hits, warm.cache.lookups,
+        "warm run must fully hit"
+    );
+    for out in [&cold.outcome, &warm.outcome] {
+        assert_eq!(render_json(out), render_json(&uncached));
+        assert_eq!(render_csv(out), render_csv(&uncached));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_keys_are_content_addressed_not_positional() {
+    // Same cells reached through different spec shapes (value order
+    // swapped) must hit the same entries: keys hash content, not the
+    // enumeration index. Clean cells only — noisy cells draw positional
+    // seeds, the documented refinement caveat.
+    let dir = std::env::temp_dir().join("bml_grid_determinism_cache_shape");
+    std::fs::remove_dir_all(&dir).ok();
+    let forward = GridSpec::builder()
+        .name("shape-a")
+        .trace("constant", 1, 0)
+        .catalogs(vec![CatalogSpec::paper_trio()])
+        .schedulers(vec![SchedulerDim::Baseline])
+        .windows(vec![Some(189), Some(756)])
+        .noise_sigmas(vec![0.0])
+        .splits(vec![SplitPolicy::EfficiencyGreedy])
+        .steppings(vec![Stepping::EventDriven])
+        .build()
+        .unwrap();
+    let reversed = GridSpec {
+        name: "shape-b".into(),
+        windows: vec![Some(756), Some(189)],
+        ..forward.clone()
+    };
+    let cold = GridRunner::new(&forward).cache_dir(&dir).run().unwrap();
+    assert_eq!(cold.cache.hits, 0);
+    let warm = GridRunner::new(&reversed).cache_dir(&dir).run().unwrap();
+    assert_eq!(
+        warm.cache.hits, 2,
+        "reordered dimensions must still hit: keys are content-addressed"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,84 @@
+//! Scale gate: adaptive refinement over a 10,000-cell spec completes in
+//! a debug-mode test run, streams a provenance-carrying artifact, and
+//! lands on a grid orders of magnitude smaller than the seed.
+//!
+//! The seed grid is deliberately cheap per cell (constant 1-day trace,
+//! clean prediction, event stepping) so the 10k-cell round fits CI; the
+//! point is the *orchestration* — enumeration, batched fan-out, Pareto
+//! bisection, streaming — not per-cell heft.
+
+use bml_core::combination::SplitPolicy;
+use bml_grid::spec::{CatalogSpec, GridSpec, SchedulerDim};
+use bml_grid::{render_json_with, GridRunner, RefineBudget, StreamingArtifactWriter};
+use bml_sim::Stepping;
+
+/// 2 catalogs x 2 schedulers x 1250 windows x 1 sigma x 2 splits x
+/// 1 stepping = 10,000 cells.
+fn ten_k_spec() -> GridSpec {
+    GridSpec::builder()
+        .name("refine-10k")
+        .root_seed(1998)
+        .trace("constant", 1, 0)
+        .catalogs(vec![CatalogSpec::paper_trio(), CatalogSpec::big_medium()])
+        .schedulers(vec![SchedulerDim::Baseline, SchedulerDim::TransitionAware])
+        .windows((1..=1250).map(|i| Some(60 * i)).collect())
+        .noise_sigmas(vec![0.0])
+        .splits(vec![
+            SplitPolicy::EfficiencyGreedy,
+            SplitPolicy::ProportionalToCapacity,
+        ])
+        .steppings(vec![Stepping::EventDriven])
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn refinement_over_ten_thousand_cells_completes_and_streams() {
+    let spec = ten_k_spec();
+    assert_eq!(spec.n_cells(), 10_000);
+    let dir = std::env::temp_dir().join("bml_grid_scale_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut sink = StreamingArtifactWriter::create(&dir).unwrap();
+    let budget = RefineBudget {
+        rounds: 2,
+        max_cells: 10_000,
+    };
+    let refined = GridRunner::new(&spec)
+        .sink(&mut sink)
+        .refine(&budget)
+        .unwrap();
+
+    assert_eq!(refined.meta.seeded_cells, 10_000);
+    assert_eq!(refined.rounds[0].n_cells, 10_000);
+    assert!(
+        refined.meta.rounds >= 1,
+        "10k windows must leave room to refine"
+    );
+    assert_eq!(
+        refined.meta.final_cells as usize,
+        refined.outcome.cells.len()
+    );
+    // Bisection near the frontier discards the dominated bulk: the final
+    // grid must be a small fraction of the seed.
+    assert!(
+        refined.outcome.cells.len() <= 1_000,
+        "refinement kept {} of 10000 cells",
+        refined.outcome.cells.len()
+    );
+    for r in &refined.rounds {
+        assert!(r.n_cells <= budget.max_cells);
+    }
+
+    // The streamed artifact carries the provenance and matches the
+    // in-memory render byte for byte.
+    let (json_path, _) = sink.paths();
+    let streamed = std::fs::read_to_string(json_path).unwrap();
+    assert_eq!(
+        streamed,
+        render_json_with(&refined.outcome, Some(&refined.meta)) + "\n"
+    );
+    assert!(streamed.contains("\"schema\":\"bml-grid/v4\""));
+    assert!(streamed.contains("\"refine\":{\"rounds\":"));
+    assert!(streamed.contains("\"seeded_cells\":10000"));
+    std::fs::remove_dir_all(&dir).ok();
+}

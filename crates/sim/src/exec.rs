@@ -8,11 +8,14 @@
 //! parallel fan-out everything shares ([`run_cells`]).
 //!
 //! Determinism contract: [`run_cells`] preserves input order (the rayon
-//! parallel map collects results into input slots), and each cell's
+//! parallel map deposits each result in its input's slot — the vendored
+//! shim schedules workers by range stealing, so *which* worker runs a
+//! cell varies, but *where* its result lands never does), and each cell's
 //! randomness is confined to its own [`CellConfig::noise_seed`], so the
 //! result vector is **bit-identical regardless of the worker-thread
 //! count**. `bml-grid` relies on this to emit byte-identical artifacts at
-//! any `--threads` setting.
+//! any `--threads` setting, and keys its content-addressed cell cache on
+//! [`CellConfig::stable_descriptor`].
 
 use bml_app::ApplicationSpec;
 use bml_core::bml::BmlInfrastructure;
@@ -66,6 +69,27 @@ impl CellConfig {
             app: base.app.clone(),
             failures: base.failures.clone(),
         }
+    }
+
+    /// Canonical content description of this cell for cache keying.
+    ///
+    /// Every field is rendered deterministically (floats through Rust's
+    /// shortest-roundtrip `Debug`, which is host- and thread-independent),
+    /// so two configs produce the same descriptor iff they describe the
+    /// same computation. A `CellConfig` field added without reaching this
+    /// derive would silently alias cache entries; rendering the whole
+    /// struct keeps the descriptor honest by construction. The noise seed
+    /// is canonicalized to 0 when `noise_sigma == 0` — an unused seed must
+    /// not split cache entries for identical clean runs.
+    pub fn stable_descriptor(&self) -> String {
+        if self.noise_sigma == 0.0 && self.noise_seed != 0 {
+            let canonical = CellConfig {
+                noise_seed: 0,
+                ..self.clone()
+            };
+            return format!("{canonical:?}");
+        }
+        format!("{self:?}")
     }
 
     /// The engine configuration this cell runs under.
@@ -213,6 +237,51 @@ mod tests {
         assert!(via_cell.failures_injected > 0, "failure model was dropped");
         let direct = crate::scenarios::bml_proactive(&trace, &bml, &base);
         assert_eq!(via_cell, direct);
+    }
+
+    #[test]
+    fn stable_descriptor_tracks_content_not_unused_seeds() {
+        let clean = clean_cell();
+        // Unused noise seeds are canonicalized away...
+        let reseeded = CellConfig {
+            noise_seed: 99,
+            ..clean.clone()
+        };
+        assert_eq!(clean.stable_descriptor(), reseeded.stable_descriptor());
+        // ...but a seed that feeds actual noise distinguishes cells,
+        let noisy = CellConfig {
+            noise_sigma: 0.2,
+            noise_seed: 99,
+            ..clean.clone()
+        };
+        let noisy_other = CellConfig {
+            noise_seed: 100,
+            ..noisy.clone()
+        };
+        assert_ne!(noisy.stable_descriptor(), noisy_other.stable_descriptor());
+        // and every knob reaches the descriptor.
+        for other in [
+            CellConfig {
+                window: Some(777),
+                ..clean.clone()
+            },
+            CellConfig {
+                stepping: Stepping::PerSecond,
+                ..clean.clone()
+            },
+            CellConfig {
+                split: SplitPolicy::ProportionalToCapacity,
+                ..clean.clone()
+            },
+            CellConfig {
+                failures: Some(FailureModel::new(400.0, 20, 5)),
+                ..clean.clone()
+            },
+        ] {
+            assert_ne!(clean.stable_descriptor(), other.stable_descriptor());
+        }
+        // Deterministic across calls (the cache key contract).
+        assert_eq!(clean.stable_descriptor(), clean.stable_descriptor());
     }
 
     #[test]

@@ -4,13 +4,25 @@
 //! * `.par_iter()` / `.into_par_iter()` followed by `.map(...).collect()` —
 //!   a parallel map over a known-length input, preserving input order.
 //!
-//! There is no work-stealing pool: inputs here are small sweeps (a handful
-//! of scenarios or sweep points, each individually heavy), so one scoped
-//! thread per chunk with at most [`max_threads`] chunks is the right cost
-//! model and keeps this shim dependency-free.
+//! # The work-stealing range pool
+//!
+//! Parallel maps run on scoped worker threads scheduled by **range
+//! stealing** (`run_parallel`): the input index space is split into one
+//! contiguous range per worker, each packed into a single `AtomicU64`.
+//! A worker pops indices off the *front* of its own range (one CAS, no
+//! locks); when its range drains it steals the *back half* of another
+//! worker's remaining range and installs the loot as its new range —
+//! which keeps stolen work subdividable by further thieves. Workers spin
+//! down only once every item is accounted for, so a skewed input (10k
+//! grid cells where a few long-trace or per-second cells dominate) keeps
+//! all workers busy to the end instead of idling behind one unlucky
+//! chunk. Items move through `UnsafeCell` slots: a claimed index leaves
+//! exactly one range atomically, so slot access is exclusive by
+//! construction. Output order is input order regardless of who ran what,
+//! which is what bml-grid's byte-identical-artifacts guarantee rests on.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 std::thread_local! {
     /// Worker-count override installed by [`ThreadPool::install`] on the
@@ -177,48 +189,132 @@ impl<I: Send, F> ParMap<I, F> {
     }
 }
 
-/// Order-preserving parallel map: workers pull indices from a shared
-/// counter, take the item out of its input slot, and deposit the result in
-/// the matching output slot.
+/// An item slot a single claimant accesses at a time.
+///
+/// Safety contract: an index is claimed by removing it from the one
+/// atomic range that contains it ([`pop_front`] / [`steal_half`]), so at
+/// most one worker ever touches slot `idx`; the pre-spawn fill and the
+/// post-join drain are ordered by `thread::scope`.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Pack a half-open index range into one atomic word (start high, end low).
+#[inline]
+fn pack(start: u32, end: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(end)
+}
+
+/// Unpack a range word into `(start, end)`.
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Claim the front index of `range`, or `None` if it is empty.
+fn pop_front(range: &AtomicU64) -> Option<usize> {
+    let mut cur = range.load(Ordering::Acquire);
+    loop {
+        let (s, e) = unpack(cur);
+        if s >= e {
+            return None;
+        }
+        match range.compare_exchange_weak(cur, pack(s + 1, e), Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => return Some(s as usize),
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Steal the back half of some other worker's range (the victim keeps the
+/// front `floor(len/2)`, so a single remaining item is stolen whole).
+/// Victims are scanned in a fixed order starting after `me`; returns the
+/// stolen range packed, or `None` when every other range is empty.
+fn steal_half(me: usize, ranges: &[AtomicU64]) -> Option<u64> {
+    let w = ranges.len();
+    for off in 1..w {
+        let victim = &ranges[(me + off) % w];
+        let mut cur = victim.load(Ordering::Acquire);
+        loop {
+            let (s, e) = unpack(cur);
+            if s >= e {
+                break;
+            }
+            let mid = s + (e - s) / 2;
+            match victim.compare_exchange_weak(
+                cur,
+                pack(s, mid),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(pack(mid, e)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+    None
+}
+
+/// Order-preserving parallel map over the work-stealing range pool (see
+/// the module docs): each worker owns an atomic index range, pops from
+/// its front, and steals the back half of a peer's range when it drains.
 fn run_parallel<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -> Vec<R> {
     let n = items.len();
-    if n <= 1 {
+    let workers = max_threads().min(n);
+    if n <= 1 || workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let inputs: Vec<std::sync::Mutex<Option<I>>> = items
+    assert!(
+        u32::try_from(n).is_ok(),
+        "rayon shim: parallel maps cap at 2^32-1 items"
+    );
+    let inputs: Vec<Slot<I>> = items
         .into_iter()
-        .map(|i| std::sync::Mutex::new(Some(i)))
+        .map(|i| Slot(UnsafeCell::new(Some(i))))
         .collect();
-    let outputs: Vec<std::sync::Mutex<Option<R>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = max_threads().min(n);
+    let outputs: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let remaining = AtomicUsize::new(n);
+    let ranges: Vec<AtomicU64> = (0..workers)
+        .map(|w| {
+            AtomicU64::new(pack(
+                (w * n / workers) as u32,
+                ((w + 1) * n / workers) as u32,
+            ))
+        })
+        .collect();
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
+        for w in 0..workers {
+            let (inputs, outputs) = (&inputs, &outputs);
+            let (ranges, remaining) = (&ranges, &remaining);
+            s.spawn(move || loop {
+                if let Some(idx) = pop_front(&ranges[w]) {
+                    // SAFETY: `idx` just left the one range containing it,
+                    // so this worker is its sole claimant (Slot contract).
+                    let item = unsafe { (*inputs[idx].0.get()).take() }
+                        .expect("rayon shim: input slot taken twice");
+                    let result = f(item);
+                    unsafe { *outputs[idx].0.get() = Some(result) };
+                    remaining.fetch_sub(1, Ordering::Release);
+                    continue;
+                }
+                if remaining.load(Ordering::Acquire) == 0 {
                     break;
                 }
-                let item = inputs[idx]
-                    .lock()
-                    .expect("rayon shim: input slot poisoned")
-                    .take()
-                    .expect("rayon shim: input slot taken twice");
-                let result = f(item);
-                *outputs[idx]
-                    .lock()
-                    .expect("rayon shim: output slot poisoned") = Some(result);
+                match steal_half(w, ranges) {
+                    // Own range is empty and nobody steals from an empty
+                    // range, so a plain store cannot race a thief's CAS.
+                    Some(loot) => ranges[w].store(loot, Ordering::Release),
+                    // In-flight items remain but nothing is stealable yet
+                    // (a thief may be about to install loot): stay up.
+                    None => std::thread::yield_now(),
+                }
             });
         }
     });
     outputs
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("rayon shim: output slot poisoned")
-                .expect("rayon shim: worker left a hole")
-        })
+        .map(|slot| slot.0.into_inner().expect("rayon shim: worker left a hole"))
         .collect()
 }
 
@@ -337,5 +433,83 @@ mod tests {
     fn zero_threads_means_default_cap() {
         let pool = super::ThreadPoolBuilder::new().build().unwrap();
         assert_eq!(pool.current_num_threads(), super::max_threads());
+    }
+
+    /// API parity under the work-stealing pool at 1 thread:
+    /// `ThreadPoolBuilder` / `install` / `join` must behave exactly like
+    /// their sequential equivalents — same results, same order, nested
+    /// `join` included — so a `--threads 1` run is a faithful reference
+    /// for any parallel run.
+    #[test]
+    fn one_thread_pool_is_api_parity_with_sequential() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let v: Vec<u64> = (0..257).collect();
+        let sequential: Vec<u64> = v.iter().map(|&x| x * x + 1).collect();
+        let pooled: Vec<u64> = pool.install(|| v.par_iter().map(|&x| x * x + 1).collect());
+        assert_eq!(pooled, sequential);
+        // join inside install returns both results, like plain calls.
+        let (a, b) = pool.install(|| super::join(|| 2 + 2, || "ab".repeat(2)));
+        assert_eq!((a, b.as_str()), (4, "abab"));
+        // into_par_iter parity too.
+        let owned: Vec<String> = pool.install(|| {
+            vec![1, 2, 3]
+                .into_par_iter()
+                .map(|x: i32| x.to_string())
+                .collect()
+        });
+        assert_eq!(owned, vec!["1", "2", "3"]);
+    }
+
+    /// Skewed workloads exercise the stealing path: a few heavy items at
+    /// the front of the index space would pin the old static chunking to
+    /// one worker; stolen ranges must still land in input order.
+    #[test]
+    fn skewed_items_are_stolen_and_stay_ordered() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let v: Vec<u64> = (0..1_000).collect();
+        let out: Vec<u64> = pool.install(|| {
+            v.par_iter()
+                .map(|&x| {
+                    if x < 4 {
+                        // Heavy head: forces the other workers to steal.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    x * 7
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..1_000).map(|x| x * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_packing_roundtrips_and_steals_split_fairly() {
+        assert_eq!(super::unpack(super::pack(3, 10)), (3, 10));
+        assert_eq!(super::unpack(super::pack(0, u32::MAX)), (0, u32::MAX));
+        // Victim keeps floor(len/2): a single remaining item is stolen
+        // whole, a 10-item range loses its back 5.
+        let r = vec![
+            super::AtomicU64::new(super::pack(5, 5)),
+            super::AtomicU64::new(super::pack(2, 3)),
+        ];
+        assert_eq!(super::steal_half(0, &r), Some(super::pack(2, 3)));
+        assert_eq!(super::unpack(r[1].load(super::Ordering::Relaxed)), (2, 2));
+        let r = vec![
+            super::AtomicU64::new(super::pack(0, 0)),
+            super::AtomicU64::new(super::pack(0, 10)),
+        ];
+        assert_eq!(super::steal_half(0, &r), Some(super::pack(5, 10)));
+        // Nothing left anywhere: no loot.
+        let r = vec![
+            super::AtomicU64::new(super::pack(1, 1)),
+            super::AtomicU64::new(super::pack(9, 9)),
+        ];
+        assert_eq!(super::steal_half(0, &r), None);
     }
 }
