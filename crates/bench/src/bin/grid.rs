@@ -11,7 +11,8 @@
 //! ```text
 //! cargo run --release -p bml-bench --bin grid -- \
 //!     [--days N] [--seed N] [--threads N] [--out-dir PATH] [--csv] \
-//!     [--cache-dir PATH] [--stepping event|per-second]
+//!     [--cache-dir PATH] [--stepping event|per-second] \
+//!     [--resume] [--max-retries N] [--chaos SEED] [--kill-after N]
 //! ```
 //!
 //! Without `--stepping` the grid sweeps *both* modes as a dimension (CI
@@ -20,13 +21,29 @@
 //! directory and a `cell cache: H hits / T lookups` line lands on stderr
 //! (never in the artifact) — CI re-runs the smoke grid warm and demands
 //! a ≥95% hit rate with byte-identical artifacts.
+//!
+//! # Fault tolerance
+//!
+//! Every run journals decided cells into `--out-dir` (checksummed,
+//! append-only `BENCH_grid.journal`); `--kill-after N` crashes the run
+//! deterministically after N cells, and `--resume` replays the journal
+//! instead of recomputing — the resumed artifacts are byte-identical to
+//! an uninterrupted run. Panicking cells are retried (`--max-retries`,
+//! default 1) with the same seed and then quarantined into the
+//! artifact's `failed_cells` section instead of aborting the grid.
+//! `--chaos SEED` injects cell panics (p=0.25 per attempt) and torn
+//! journal writes (p=0.1 per record) on a seeded, thread-count-
+//! independent schedule — the CI chaos job kills such a run mid-flight,
+//! resumes it, and diffs the artifacts against a clean run.
 
 use std::path::Path;
 
 use bml_bench::Args;
 use bml_core::combination::SplitPolicy;
 use bml_grid::spec::{CatalogSpec, GridSpec, SchedulerDim};
-use bml_grid::{pareto_frontier, per_dimension_bests, GridRunner, StreamingArtifactWriter};
+use bml_grid::{
+    pareto_frontier, per_dimension_bests, ChaosPolicy, GridRunner, StreamingArtifactWriter,
+};
 use bml_metrics::{joules_to_kwh, Table};
 use bml_sim::Stepping;
 
@@ -78,17 +95,43 @@ fn main() {
         std::process::exit(1)
     });
     let started = std::time::Instant::now();
-    let run = GridRunner::new(&spec)
+    let out_dir = Path::new(&args.out_dir);
+    let mut runner = GridRunner::new(&spec)
         .threads_opt(args.threads)
         .cache_dir_opt(args.cache_dir.as_deref())
-        .sink(&mut sink)
-        .run()
-        .unwrap_or_else(|e| {
-            eprintln!("grid run failed: {e}");
-            std::process::exit(2)
-        });
+        .max_retries(args.max_retries_or(1))
+        .sink(&mut sink);
+    runner = if args.resume {
+        runner.resume(out_dir)
+    } else {
+        runner.journal_dir(out_dir)
+    };
+    if let Some(seed) = args.chaos {
+        // The smoke chaos schedule: enough cell panics that retries and
+        // quarantine both fire on a 144-cell grid, plus torn journal
+        // records to exercise resume recovery. Sink/cache I/O faults are
+        // deliberately excluded — CI gates on the artifact file.
+        runner = runner.chaos(ChaosPolicy::new(seed).panic_prob(0.25).torn_write_prob(0.1));
+    }
+    if let Some(n) = args.kill_after {
+        runner = runner.kill_after_cells(n);
+    }
+    let run = runner.run().unwrap_or_else(|e| {
+        eprintln!("grid run failed: {e}");
+        std::process::exit(2)
+    });
     let wall_s = started.elapsed().as_secs_f64();
     let out = &run.outcome;
+    for w in &run.warnings {
+        eprintln!("warning: {} degraded: {}", w.component, w.message);
+    }
+    if !out.failed_cells.is_empty() {
+        eprintln!(
+            "quarantined {} of {} cells after exhausted retries (see failed_cells in the artifact)",
+            out.failed_cells.len(),
+            out.cells.len() + out.failed_cells.len(),
+        );
+    }
     let sim_seconds = out.cells.len() as u64 * u64::from(days) * 86_400;
     eprintln!(
         "ran {} cells ({} simulated seconds) in {wall_s:.2} s \
@@ -155,7 +198,8 @@ fn main() {
     for &i in &frontier {
         let c = &out.cells[i];
         p.row(&[
-            format!("{i}"),
+            // Enumeration index, matching the artifact's pareto entries.
+            format!("{}", c.coords.index),
             c.labels[1].clone(),
             c.labels[2].clone(),
             c.labels[3].clone(),

@@ -11,7 +11,8 @@
 /// The usage line printed by `--help` and on any parse error.
 pub const USAGE: &str = "usage: [--seed N] [--days N] [--window S] [--noise SIGMA] [--csv] \
      [--json PATH] [--threads N] [--out-dir PATH] [--cache-dir PATH] \
-     [--stepping event|per-second]";
+     [--stepping event|per-second] [--resume] [--max-retries N] \
+     [--chaos SEED] [--kill-after N]";
 
 /// Common command-line options of the experiment binaries.
 ///
@@ -54,6 +55,19 @@ pub struct Args {
     /// event-driven via [`Args::stepping_or_default`]; the `grid` binary
     /// sweeps both modes unless one is requested explicitly).
     pub stepping: Option<bml_sim::Stepping>,
+    /// Resume the `grid` binary from the journal a previous (killed) run
+    /// left in `--out-dir`: already-decided cells replay from disk.
+    pub resume: bool,
+    /// Retry budget for panicking grid cells; `None` = the runner's
+    /// default (one retry). Read through [`Args::max_retries_or`].
+    pub max_retries: Option<u32>,
+    /// Chaos seed for the `grid` binary; `None` disables fault injection.
+    /// A seed enables the smoke chaos schedule (cell panics + torn
+    /// journal writes) — see the `grid` binary docs.
+    pub chaos: Option<u64>,
+    /// Deterministically crash the `grid` binary after N emitted cells
+    /// (crash-resume testing); `None` runs to completion.
+    pub kill_after: Option<usize>,
 }
 
 impl Default for Args {
@@ -69,6 +83,10 @@ impl Default for Args {
             out_dir: ".".into(),
             cache_dir: None,
             stepping: None,
+            resume: false,
+            max_retries: None,
+            chaos: None,
+            kill_after: None,
         }
     }
 }
@@ -122,6 +140,18 @@ impl Args {
                         }
                     })
                 }
+                "--resume" => out.resume = true,
+                "--max-retries" => {
+                    out.max_retries = Some(parse_num(&value("--max-retries")?, "--max-retries")?)
+                }
+                "--chaos" => out.chaos = Some(parse_num(&value("--chaos")?, "--chaos")?),
+                "--kill-after" => {
+                    let n: usize = parse_num(&value("--kill-after")?, "--kill-after")?;
+                    if n == 0 {
+                        return Err(format!("--kill-after must be at least 1\n{USAGE}"));
+                    }
+                    out.kill_after = Some(n);
+                }
                 "--help" | "-h" => return Err(USAGE.into()),
                 other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
             }
@@ -133,6 +163,12 @@ impl Args {
     /// binary's own default.
     pub fn days_or(&self, default: u32) -> u32 {
         self.days.unwrap_or(default)
+    }
+
+    /// The retry budget for panicking cells: `--max-retries` when given,
+    /// otherwise the runner's default.
+    pub fn max_retries_or(&self, default: u32) -> u32 {
+        self.max_retries.unwrap_or(default)
     }
 
     /// The stepping mode for single-run binaries: `--stepping` when
@@ -186,6 +222,11 @@ mod tests {
         assert_eq!(a.cache_dir, None);
         assert_eq!(a.stepping, None);
         assert_eq!(a.stepping_or_default(), bml_sim::Stepping::EventDriven);
+        assert!(!a.resume);
+        assert_eq!(a.max_retries, None);
+        assert_eq!(a.max_retries_or(1), 1);
+        assert_eq!(a.chaos, None);
+        assert_eq!(a.kill_after, None);
     }
 
     #[test]
@@ -230,6 +271,29 @@ mod tests {
         assert_eq!(a.out_dir, "artifacts");
         assert_eq!(a.cache_dir.as_deref(), Some("/tmp/cells"));
         assert_eq!(a.stepping, Some(bml_sim::Stepping::PerSecond));
+    }
+
+    #[test]
+    fn fault_tolerance_flags() {
+        let a = parse(&[
+            "--resume",
+            "--max-retries",
+            "3",
+            "--chaos",
+            "42",
+            "--kill-after",
+            "72",
+        ]);
+        assert!(a.resume);
+        assert_eq!(a.max_retries, Some(3));
+        assert_eq!(a.max_retries_or(1), 3);
+        assert_eq!(a.chaos, Some(42));
+        assert_eq!(a.kill_after, Some(72));
+
+        let err = try_parse(&["--kill-after", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = try_parse(&["--chaos"]).unwrap_err();
+        assert!(err.contains("missing value for --chaos"), "{err}");
     }
 
     #[test]

@@ -66,8 +66,10 @@ pub fn per_dimension_bests(out: &GridOutcome) -> Vec<DimensionBest> {
 /// The Pareto frontier of the energy-vs-QoS trade-off: cells not
 /// dominated by any other cell (dominated = some cell is no worse on both
 /// total energy and QoS shortfall and strictly better on at least one).
-/// Returned as flat cell indices, sorted by ascending energy (shortfall,
-/// then index, as tie-breaks).
+/// Returned as positions into `out.cells`, sorted by ascending energy
+/// (shortfall, then position, as tie-breaks). Positions equal enumeration
+/// indices only when no cell is quarantined — artifact renderers map
+/// through `coords.index` before publishing.
 pub fn pareto_frontier(out: &GridOutcome) -> Vec<usize> {
     let cells = &out.cells;
     let mut frontier: Vec<usize> = (0..cells.len())
@@ -144,7 +146,11 @@ mod tests {
                 }
             })
             .collect();
-        GridOutcome { spec, cells }
+        GridOutcome {
+            spec,
+            cells,
+            failed_cells: Vec::new(),
+        }
     }
 
     #[test]

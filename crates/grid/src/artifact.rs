@@ -1,10 +1,10 @@
 //! Versioned grid artifacts: `BENCH_grid.json` and `BENCH_grid.csv`.
 //!
-//! # Schema (`bml-grid/v4`)
+//! # Schema (`bml-grid/v5`)
 //!
 //! ```text
 //! {
-//!   "schema":   "bml-grid/v4",
+//!   "schema":   "bml-grid/v5",
 //!   "name":     <spec name>,
 //!   "root_seed": <u64>,
 //!   "n_cells":  <usize>,
@@ -20,11 +20,22 @@
 //!                "instance_migrations",
 //!                "stepping_effective",
 //!                "optimal_energy_j", "optimality_gap" }, ... ], // enumeration order
+//!   "failed_cells": [ { "index", "seed" (decimal string),
+//!                       <7 dimension labels>, "status": "failed",
+//!                       "attempts", "panic_digest" }, ... ],    // enumeration order
 //!   "best_by_dimension": [ { "dimension", "value", "cell",
 //!                            "total_energy_j", "qos_shortfall" }, ... ],
-//!   "pareto_energy_vs_qos": [ <cell index>, ... ]               // ascending energy
+//!   "pareto_energy_vs_qos": [ <cell enumeration index>, ... ]  // ascending energy
 //! }
 //! ```
+//!
+//! `cells` holds every cell that produced a result; cells that exhausted
+//! their retry budget are **quarantined** into `failed_cells` (empty on a
+//! clean run) with the digest of their last panic message — together the
+//! two arrays account for every cell of the spec. Accordingly,
+//! `pareto_energy_vs_qos` and `best_by_dimension.cell` refer to cells by
+//! **enumeration index** (the `index` field), not by position in the
+//! `cells` array.
 //!
 //! The artifact deliberately records **no** wall-clock times, thread
 //! counts, hostnames or dates: for a fixed spec and root seed the
@@ -50,19 +61,23 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::aggregate::{pareto_frontier, per_dimension_bests};
-use crate::executor::{CellRecord, GridOutcome};
+use crate::executor::{CellRecord, FailedCell, GridOutcome};
 use crate::json::Object;
 use crate::refine::RefineMeta;
 use crate::spec::{GridSpec, DIMENSIONS};
 
-/// Current artifact schema identifier. v4 added the top-level `refine`
+/// Current artifact schema identifier. v5 added the `failed_cells`
+/// quarantine section (`[]` on clean runs) and redefined
+/// `pareto_energy_vs_qos` entries as cell **enumeration** indices (on
+/// clean runs the two coincide) — cell rows are byte-identical to v4.
+/// v4 added the top-level `refine`
 /// field (`null` for exhaustive runs; round/budget provenance for
 /// artifacts produced by adaptive refinement) and is the first schema
 /// emitted by the streaming writer — cell rows and all v3 fields are
 /// unchanged. v3 added `optimal_energy_j` / `optimality_gap` (the
 /// replay-verified offline optimum from `bml-opt`). v2 added
 /// `stepping_effective` (the loop the engine actually ran).
-pub const SCHEMA: &str = "bml-grid/v4";
+pub const SCHEMA: &str = "bml-grid/v5";
 
 /// JSON artifact file name.
 pub const JSON_NAME: &str = "BENCH_grid.json";
@@ -134,10 +149,32 @@ pub fn render_cell_json(c: &CellRecord) -> String {
         .render()
 }
 
-/// Everything after the last cell: the aggregates (per-dimension bests
-/// and the Pareto frontier — they need the full cell set, which is why
-/// they close the streamed document) and the closing brace.
+/// One quarantined cell as a JSON object for the `failed_cells` section:
+/// coordinates and labels like a cell row, then the quarantine record
+/// (attempts consumed and the digest of the last panic message).
+pub fn render_failed_cell_json(f: &FailedCell) -> String {
+    let mut o = Object::new()
+        .int("index", f.coords.index as u64)
+        .str("seed", &f.coords.seed.to_string());
+    for (name, label) in DIMENSIONS.iter().zip(&f.labels) {
+        o = o.str(name, label);
+    }
+    o.str("status", "failed")
+        .int("attempts", u64::from(f.attempts))
+        .str("panic_digest", &f.panic_digest)
+        .render()
+}
+
+/// Everything after the last cell: the quarantine section and the
+/// aggregates (per-dimension bests and the Pareto frontier — they need
+/// the full cell set, which is why they close the streamed document) and
+/// the closing brace.
 pub fn json_epilogue(out: &GridOutcome) -> String {
+    let failed: Vec<String> = out
+        .failed_cells
+        .iter()
+        .map(render_failed_cell_json)
+        .collect();
     let bests = per_dimension_bests(out)
         .into_iter()
         .map(|b| {
@@ -149,13 +186,19 @@ pub fn json_epilogue(out: &GridOutcome) -> String {
                 .num("qos_shortfall", b.qos_shortfall)
         })
         .collect();
-    let pareto: Vec<f64> = pareto_frontier(out).iter().map(|&i| i as f64).collect();
+    // The frontier is positions into `cells`; publish enumeration indices
+    // so quarantined cells can never shift what the entries refer to.
+    let pareto: Vec<f64> = pareto_frontier(out)
+        .iter()
+        .map(|&i| out.cells[i].coords.index as f64)
+        .collect();
     let tail = Object::new()
         .objs("best_by_dimension", bests)
         .nums("pareto_energy_vs_qos", &pareto)
         .render();
-    // Close the cells array, then splice the aggregate fields in.
-    format!("],{}", &tail[1..])
+    // Close the cells array, then splice the quarantine + aggregate
+    // fields in.
+    format!("],\"failed_cells\":[{}],{}", failed.join(","), &tail[1..])
 }
 
 /// Render the versioned JSON artifact (no trailing newline) with
@@ -285,10 +328,14 @@ mod tests {
     fn json_has_schema_and_every_cell() {
         let out = outcome();
         let j = render_json(&out);
-        assert!(j.starts_with("{\"schema\":\"bml-grid/v4\""));
+        assert!(j.starts_with("{\"schema\":\"bml-grid/v5\""));
         assert!(j.contains("\"name\":\"artifact-unit\""));
         assert!(j.contains("\"n_cells\":2"));
         assert!(j.contains("\"refine\":null"));
+        assert!(
+            j.contains("\"failed_cells\":[]"),
+            "clean run: empty quarantine: {j}"
+        );
         assert!(j.contains("\"pareto_energy_vs_qos\":["));
         // One energy field per cell plus one per best-by-dimension entry.
         let n_bests = per_dimension_bests(&out).len();
@@ -408,6 +455,36 @@ mod tests {
             let gap: f64 = fields[fields.len() - 1].parse().unwrap();
             assert!(opt > 0.0);
             assert!(gap >= 0.0, "noise-free cells cannot beat the optimum");
+        }
+    }
+
+    #[test]
+    fn v5_quarantine_section_and_index_based_pareto() {
+        let mut out = outcome();
+        // Quarantine the first cell: it moves from `cells` to
+        // `failed_cells`, and the frontier must keep referring to the
+        // surviving cell by its enumeration index (1), not its new
+        // position in the array (0).
+        let gone = out.cells.remove(0);
+        out.failed_cells.push(FailedCell {
+            coords: gone.coords,
+            labels: gone.labels.clone(),
+            attempts: 2,
+            panic_digest: crate::chaos::panic_digest("boom"),
+        });
+        let j = render_json(&out);
+        assert!(j.contains("\"failed_cells\":[{\"index\":0,"), "{j}");
+        assert!(j.contains("\"status\":\"failed\",\"attempts\":2,\"panic_digest\":\""));
+        assert!(
+            j.contains("\"pareto_energy_vs_qos\":[1]"),
+            "frontier must publish enumeration indices: {j}"
+        );
+        // Both arrays together account for every cell of the spec.
+        assert_eq!(out.cells.len() + out.failed_cells.len(), 2);
+        // The quarantined row carries the full label set, like a cell row.
+        let failed = render_failed_cell_json(&out.failed_cells[0]);
+        for name in DIMENSIONS {
+            assert!(failed.contains(&format!("\"{name}\":\"")), "{failed}");
         }
     }
 

@@ -8,11 +8,36 @@
 //! [`crate::stream::CellSink`] in enumeration order.
 //!
 //! Determinism: cells carry seeds derived purely from the root seed and
-//! their enumeration index, [`bml_sim::exec::run_cells`] returns results
-//! in input order whatever the worker count, cached summaries are stored
-//! without (and re-stamped with) their optima — so the outcome, and every
+//! their enumeration index, the parallel fan-out returns results in input
+//! order whatever the worker count, cached summaries are stored without
+//! (and re-stamped with) their optima — so the outcome, and every
 //! artifact rendered or streamed from it, is identical at 1 thread and at
 //! N, with a cold cache and a warm one.
+//!
+//! # Fault tolerance
+//!
+//! Every cell runs isolated ([`bml_sim::exec::run_cells_checked`]): a
+//! panicking cell is retried up to [`GridRunner::max_retries`] extra
+//! times with the **same seed** (a deterministic workload that panicked
+//! once will panic again — the retry budget exists for injected and
+//! environmental faults), and a cell that exhausts its budget is
+//! **quarantined** into [`GridOutcome::failed_cells`] (artifact schema
+//! `bml-grid/v5`) instead of aborting the run.
+//!
+//! With a journal directory configured, every decided cell (succeeded
+//! *or* quarantined) is appended to a checksummed journal
+//! ([`crate::journal`]) before the run moves on; [`GridRunner::resume`]
+//! replays it so a killed run continues from the last durable cell and
+//! still produces **byte-identical artifacts** to an uninterrupted run.
+//!
+//! I/O faults degrade instead of failing: a cache, sink, or journal
+//! write error disables that component for the rest of the run and is
+//! reported in [`GridRun::warnings`] — the run itself completes in
+//! memory. Spec validation and trace/catalog resolution stay hard
+//! errors (nothing has run yet, and the result could not be right).
+//!
+//! Seeded fault injection for all of the above lives in
+//! [`crate::chaos`].
 //!
 //! ```no_run
 //! # use bml_grid::{GridRunner, GridSpec};
@@ -20,8 +45,12 @@
 //! let run = GridRunner::new(spec)
 //!     .threads(8)
 //!     .cache_dir("/tmp/bml-cache")
+//!     .resume("out") // journal to out/, replaying any prior attempt
 //!     .run()?;
 //! eprintln!("cache: {} hits / {} lookups", run.cache.hits, run.cache.lookups);
+//! for w in &run.warnings {
+//!     eprintln!("warning: {}: {}", w.component, w.message);
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -33,11 +62,13 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use bml_core::scheduler::paper_window_length;
-use bml_sim::exec::{run_cells, CellConfig, CellJob};
+use bml_sim::exec::{run_cells_checked, CellConfig, CellJob};
 use bml_sim::{CellSummary, SimConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{self, CacheStats, CellCache};
+use crate::chaos::{panic_digest, ChaosPolicy, STREAM_CACHE_IO, STREAM_SINK_IO};
+use crate::journal::{self, CellEntry, Journal};
 use crate::refine::RefineMeta;
 use crate::spec::{CellCoords, GridSpec};
 use crate::stream::CellSink;
@@ -59,24 +90,61 @@ pub struct CellRecord {
     pub summary: CellSummary,
 }
 
+/// A quarantined cell: it exhausted its retry budget without producing a
+/// result and was excluded from [`GridOutcome::cells`] instead of
+/// aborting the run. Rendered into the artifact's `failed_cells` section
+/// (schema `bml-grid/v5`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedCell {
+    /// The cell's coordinates (flat index + per-dimension indices + seed).
+    pub coords: CellCoords,
+    /// Dimension labels, aligned with [`crate::spec::DIMENSIONS`].
+    pub labels: Vec<String>,
+    /// Execution attempts consumed (the full retry budget).
+    pub attempts: u32,
+    /// [`crate::chaos::panic_digest`] of the last panic message (the
+    /// artifact carries the digest, not the free-form message).
+    pub panic_digest: String,
+}
+
 /// Outcome of one grid run: the spec that produced it plus every cell in
 /// enumeration order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridOutcome {
     /// The executed spec.
     pub spec: GridSpec,
-    /// Cells, index-aligned with the spec's enumeration.
+    /// Successfully executed cells, in enumeration order. With failures
+    /// quarantined, indices into this vec are **not** enumeration
+    /// indices — use [`CellRecord::coords`]`.index`.
     pub cells: Vec<CellRecord>,
+    /// Quarantined cells, in enumeration order (empty on a clean run).
+    /// `cells.len() + failed_cells.len()` always equals the spec's cell
+    /// count: no cell is ever silently missing.
+    pub failed_cells: Vec<FailedCell>,
+}
+
+/// A component degradation that happened during a run: the run completed
+/// (in memory where necessary), but the named component stopped
+/// persisting. Callers decide whether that is acceptable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunWarning {
+    /// The degraded component: `"cache"`, `"sink"`, or `"journal"`.
+    pub component: &'static str,
+    /// What failed (the underlying I/O error).
+    pub message: String,
 }
 
 /// A completed [`GridRunner`] run: the outcome plus the cache counters
-/// (all zero when no cache directory was configured).
+/// (all zero when no cache directory was configured) and any degradation
+/// warnings.
 #[derive(Debug)]
 pub struct GridRun {
     /// The executed grid.
     pub outcome: GridOutcome,
     /// Cell/optimum cache hit counters for this run.
     pub cache: CacheStats,
+    /// Components that degraded during the run (empty = fully healthy).
+    pub warnings: Vec<RunWarning>,
 }
 
 /// Configures and executes one grid run (builder-style).
@@ -89,16 +157,27 @@ pub struct GridRunner<'a> {
     threads: Option<usize>,
     cache_dir: Option<PathBuf>,
     sink: Option<&'a mut dyn CellSink>,
+    max_retries: u32,
+    journal_dir: Option<PathBuf>,
+    resume: bool,
+    chaos: Option<ChaosPolicy>,
+    kill_after: Option<usize>,
 }
 
 impl<'a> GridRunner<'a> {
-    /// A runner for `spec` with no thread cap, no cache, no sink.
+    /// A runner for `spec` with no thread cap, no cache, no sink, no
+    /// journal, and one retry per panicking cell.
     pub fn new(spec: &'a GridSpec) -> Self {
         GridRunner {
             spec,
             threads: None,
             cache_dir: None,
             sink: None,
+            max_retries: 1,
+            journal_dir: None,
+            resume: false,
+            chaos: None,
+            kill_after: None,
         }
     }
 
@@ -139,19 +218,75 @@ impl<'a> GridRunner<'a> {
         self
     }
 
+    /// Extra execution attempts granted to a panicking cell before it is
+    /// quarantined (default 1: two attempts total). Retries replay the
+    /// **same seed** — the budget absorbs injected and environmental
+    /// faults, not nondeterminism.
+    #[must_use]
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Journal every decided cell into `dir/`[`crate::journal::JOURNAL_NAME`],
+    /// truncating any previous journal (this run starts from scratch).
+    #[must_use]
+    pub fn journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self.resume = false;
+        self
+    }
+
+    /// Resume from the journal in `dir`: cells already decided by a
+    /// previous (killed) run with the same spec, retry budget, and chaos
+    /// schedule are replayed from disk instead of recomputed, and the
+    /// journal keeps growing from there. An absent, corrupt-tailed, or
+    /// mismatched journal degrades to a fresh run, never an error.
+    #[must_use]
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self.resume = true;
+        self
+    }
+
+    /// Inject faults on `policy`'s seeded schedule (see [`crate::chaos`]).
+    #[must_use]
+    pub fn chaos(mut self, policy: ChaosPolicy) -> Self {
+        self.chaos = Some(policy);
+        self
+    }
+
+    /// Abort the run (an `Err`, after journaling) once `n` cells have
+    /// been emitted — a deterministic stand-in for `kill -9` at a record
+    /// boundary, used by the crash-resume tests and the CI chaos job.
+    #[must_use]
+    pub fn kill_after_cells(mut self, n: usize) -> Self {
+        self.kill_after = Some(n);
+        self
+    }
+
     /// Execute every cell of the spec.
     ///
     /// Fails fast on an invalid spec (unknown trace source, unbuildable
-    /// catalog mix, empty dimension) without running anything; cache and
-    /// sink I/O errors are reported as strings, like spec errors.
+    /// catalog mix, empty dimension) without running anything. Cell
+    /// panics are retried and quarantined, I/O faults degrade with
+    /// warnings (see the module docs); the only mid-run `Err` left is
+    /// the deliberate [`GridRunner::kill_after_cells`] crash.
     pub fn run(self) -> Result<GridRun, String> {
         let spec = self.spec;
         let mut sink = self.sink;
         execute(
             spec,
-            self.threads,
-            self.cache_dir.as_deref(),
-            None,
+            ExecOptions {
+                threads: self.threads,
+                cache_dir: self.cache_dir.as_deref(),
+                refine_meta: None,
+                max_retries: self.max_retries,
+                journal_dir: self.journal_dir.as_deref(),
+                resume: self.resume,
+                chaos: self.chaos,
+                kill_after: self.kill_after,
+            },
             &mut sink,
         )
     }
@@ -182,16 +317,45 @@ pub fn run_grid(spec: &GridSpec, threads: Option<usize>) -> Result<GridOutcome, 
         .map(|r| r.outcome)
 }
 
+/// Options of one [`execute`] call. The refinement driver uses the
+/// defaults for everything past the cache (intermediate rounds are
+/// re-entrant by construction — the cell cache makes them cheap — so the
+/// journal, chaos, and kill knobs are not threaded through `refine`).
+pub(crate) struct ExecOptions<'a> {
+    pub threads: Option<usize>,
+    pub cache_dir: Option<&'a std::path::Path>,
+    pub refine_meta: Option<&'a RefineMeta>,
+    pub max_retries: u32,
+    pub journal_dir: Option<&'a std::path::Path>,
+    pub resume: bool,
+    pub chaos: Option<ChaosPolicy>,
+    pub kill_after: Option<usize>,
+}
+
+impl Default for ExecOptions<'_> {
+    fn default() -> Self {
+        ExecOptions {
+            threads: None,
+            cache_dir: None,
+            refine_meta: None,
+            max_retries: 1,
+            journal_dir: None,
+            resume: false,
+            chaos: None,
+            kill_after: None,
+        }
+    }
+}
+
 /// The one execution path behind [`GridRunner::run`] and the refinement
-/// driver. `refine_meta` is embedded in the streamed prologue when the
-/// stream is a refinement's final artifact.
+/// driver. `opts.refine_meta` is embedded in the streamed prologue when
+/// the stream is a refinement's final artifact.
 pub(crate) fn execute(
     spec: &GridSpec,
-    threads: Option<usize>,
-    cache_dir: Option<&std::path::Path>,
-    refine_meta: Option<&RefineMeta>,
+    opts: ExecOptions<'_>,
     sink: &mut Option<&mut dyn CellSink>,
 ) -> Result<GridRun, String> {
+    let threads = opts.threads;
     spec.validate()?;
     let traces: Vec<_> = spec
         .traces
@@ -205,10 +369,22 @@ pub(crate) fn execute(
         .collect::<Result<_, _>>()?;
 
     let mut stats = CacheStats::default();
-    let cache = match cache_dir {
-        Some(dir) => {
-            Some(CellCache::open(dir).map_err(|e| format!("cache dir {}: {e}", dir.display()))?)
-        }
+    let mut warnings: Vec<RunWarning> = Vec::new();
+    // Disabled components stay disabled: after a write error there is no
+    // telling what state the backing store is in, so the run degrades to
+    // memory once and reports it, instead of hammering a dead disk.
+    let mut cache_writes = true;
+    let cache = match opts.cache_dir {
+        Some(dir) => match CellCache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                warnings.push(RunWarning {
+                    component: "cache",
+                    message: format!("cache dir {}: {e}; running uncached", dir.display()),
+                });
+                None
+            }
+        },
         None => None,
     };
     // Digests are only needed for keying; skip the (trace-length) hashing
@@ -248,9 +424,15 @@ pub(crate) fn execute(
                             bml_opt::solve_verified(&traces[t], &catalogs[c], split, &opt_options)
                                 .expect("exact DP cannot dead-end");
                         if let (Some(cache), Some((key, None))) = (&cache, &cached) {
-                            cache
-                                .store_opt(key, sched.energy_j)
-                                .map_err(|e| format!("cache write: {e}"))?;
+                            if cache_writes {
+                                if let Err(e) = cache.store_opt(key, sched.energy_j) {
+                                    warnings.push(RunWarning {
+                                        component: "cache",
+                                        message: format!("cache write: {e}; caching disabled"),
+                                    });
+                                    cache_writes = false;
+                                }
+                            }
                         }
                         sched.energy_j
                     }
@@ -260,17 +442,59 @@ pub(crate) fn execute(
         }
     }
 
+    // The journal replays decisions from a killed run with the same
+    // fingerprint (spec + schema + RNG keying + retry budget + chaos
+    // schedule); anything else starts fresh. Journal I/O failures
+    // degrade — the run still completes, it just loses resumability.
+    let fingerprint = journal::run_fingerprint(spec, opts.chaos.as_ref(), opts.max_retries);
+    let mut journaled: BTreeMap<usize, CellEntry> = BTreeMap::new();
+    let mut journal: Option<Journal> = match opts.journal_dir {
+        Some(dir) if opts.resume => match Journal::resume(dir, &fingerprint, opts.chaos) {
+            Ok((j, entries)) => {
+                journaled = entries;
+                Some(j)
+            }
+            Err(e) => {
+                warnings.push(RunWarning {
+                    component: "journal",
+                    message: format!("journal resume: {e}; running unjournaled"),
+                });
+                None
+            }
+        },
+        Some(dir) => match Journal::create(dir, &fingerprint, opts.chaos) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                warnings.push(RunWarning {
+                    component: "journal",
+                    message: format!("journal create: {e}; running unjournaled"),
+                });
+                None
+            }
+        },
+        None => None,
+    };
+
     let coords = spec.cells();
-    if let Some(sink) = sink.as_deref_mut() {
-        sink.begin(spec, coords.len(), refine_meta)
-            .map_err(|e| format!("artifact stream: {e}"))?;
+    if let Some(s) = sink.as_deref_mut() {
+        if let Err(e) = s.begin(spec, coords.len(), opts.refine_meta) {
+            warnings.push(RunWarning {
+                component: "sink",
+                message: format!("artifact stream: {e}; streaming disabled"),
+            });
+            *sink = None;
+        }
     }
 
+    let max_attempts = opts.max_retries + 1;
     let base = SimConfig::default();
     let mut cells: Vec<CellRecord> = Vec::with_capacity(coords.len());
+    let mut failed_cells: Vec<FailedCell> = Vec::new();
+    let mut emitted = 0usize;
     for batch in coords.chunks(STREAM_BATCH) {
-        // Cache lookups first; the parallel fan-out then only sees the
-        // misses (in enumeration order, so results align back by index).
+        // Journal and cache lookups first; the parallel fan-out then only
+        // sees undecided cells (in enumeration order, so results align
+        // back by index).
         let configs: Vec<CellConfig> = batch
             .iter()
             .map(|c| {
@@ -289,84 +513,211 @@ pub(crate) fn execute(
                 }
             })
             .collect();
-        let mut summaries: Vec<Option<CellSummary>> = Vec::with_capacity(batch.len());
-        let mut keys: Vec<Option<String>> = Vec::with_capacity(batch.len());
-        for (c, config) in batch.iter().zip(&configs) {
-            let (key, summary) = match &cache {
-                Some(cache) => {
-                    stats.lookups += 1;
-                    let key = cache::cell_key(
-                        &trace_digests[c.trace],
-                        &catalog_digests[c.catalog],
-                        config,
-                    );
-                    let hit = cache.load_cell(&key);
-                    if hit.is_some() {
-                        stats.hits += 1;
-                    }
-                    (Some(key), hit)
+        let mut summaries: Vec<Option<CellSummary>> = vec![None; batch.len()];
+        // Quarantine decisions: (attempts consumed, panic digest).
+        let mut failures: Vec<Option<(u32, String)>> = vec![None; batch.len()];
+        let mut keys: Vec<Option<String>> = vec![None; batch.len()];
+        // Journal-replayed decisions are already durable; everything
+        // decided *this* run gets appended.
+        let mut from_journal: Vec<bool> = vec![false; batch.len()];
+        for (i, (c, config)) in batch.iter().zip(&configs).enumerate() {
+            if let Some(entry) = journaled.get(&c.index) {
+                from_journal[i] = true;
+                match entry {
+                    CellEntry::Done(summary) => summaries[i] = Some(summary.clone()),
+                    CellEntry::Failed {
+                        attempts,
+                        panic_digest,
+                    } => failures[i] = Some((*attempts, panic_digest.clone())),
                 }
-                None => (None, None),
-            };
-            keys.push(key);
-            summaries.push(summary);
+                continue;
+            }
+            if let Some(cache) = &cache {
+                stats.lookups += 1;
+                let key =
+                    cache::cell_key(&trace_digests[c.trace], &catalog_digests[c.catalog], config);
+                let hit = cache.load_cell(&key);
+                if hit.is_some() {
+                    stats.hits += 1;
+                }
+                keys[i] = Some(key);
+                summaries[i] = hit;
+            }
         }
 
-        let miss_idx: Vec<usize> = (0..batch.len())
-            .filter(|&i| summaries[i].is_none())
+        // Isolated execution with bounded retry: every attempt replays
+        // the same seed, and the chaos panic schedule is keyed on the
+        // cell's enumeration index + attempt number — thread counts and
+        // batch shapes can never move an injected fault.
+        let mut pending: Vec<usize> = (0..batch.len())
+            .filter(|&i| summaries[i].is_none() && failures[i].is_none())
             .collect();
-        let jobs: Vec<CellJob<'_>> = miss_idx
-            .iter()
-            .map(|&i| CellJob {
-                trace: &traces[batch[i].trace],
-                bml: &catalogs[batch[i].catalog],
-                cell: configs[i].clone(),
-            })
-            .collect();
-        let results = run_cells(&jobs, threads);
-        for (&i, result) in miss_idx.iter().zip(results) {
-            let summary = result.summary();
-            if let (Some(cache), Some(key)) = (&cache, &keys[i]) {
-                cache
-                    .store_cell(key, &summary)
-                    .map_err(|e| format!("cache write: {e}"))?;
+        let mut computed: Vec<bool> = vec![false; batch.len()];
+        let mut last_panic: Vec<Option<String>> = vec![None; batch.len()];
+        for attempt in 1..=max_attempts {
+            if pending.is_empty() {
+                break;
             }
-            summaries[i] = Some(summary);
+            let jobs: Vec<CellJob<'_>> = pending
+                .iter()
+                .map(|&i| CellJob {
+                    trace: &traces[batch[i].trace],
+                    bml: &catalogs[batch[i].catalog],
+                    cell: configs[i].clone(),
+                })
+                .collect();
+            let global: Vec<u64> = pending.iter().map(|&i| batch[i].index as u64).collect();
+            let inject = opts
+                .chaos
+                .as_ref()
+                .map(|chaos| move |pos: usize| chaos.should_panic(global[pos], attempt));
+            let results = run_cells_checked(
+                &jobs,
+                threads,
+                inject
+                    .as_ref()
+                    .map(|f| f as &(dyn Fn(usize) -> Option<String> + Sync)),
+            );
+            let mut still: Vec<usize> = Vec::new();
+            for (pos, result) in results.into_iter().enumerate() {
+                let i = pending[pos];
+                match result {
+                    Ok(r) => {
+                        summaries[i] = Some(r.summary());
+                        computed[i] = true;
+                    }
+                    Err(p) => {
+                        last_panic[i] = Some(p.message);
+                        still.push(i);
+                    }
+                }
+            }
+            pending = still;
+        }
+        for i in pending {
+            let message = last_panic[i].take().unwrap_or_default();
+            failures[i] = Some((max_attempts, panic_digest(&message)));
         }
 
-        for (c, summary) in batch.iter().zip(summaries) {
-            let mut summary = summary.expect("every cell is either cached or computed");
-            let optimal = optima[&(c.trace, c.catalog, c.split)];
-            summary.optimal_energy_j = Some(optimal);
-            summary.optimality_gap = if optimal > 0.0 {
-                Some((summary.total_energy_j - optimal) / optimal)
-            } else {
-                None
-            };
-            let record = CellRecord {
-                labels: spec.cell_labels(c),
-                coords: *c,
-                summary,
-            };
-            if let Some(sink) = sink.as_deref_mut() {
-                sink.cell(&record)
-                    .map_err(|e| format!("artifact stream: {e}"))?;
+        for (i, c) in batch.iter().enumerate() {
+            // Persist computed results to the cache (journal hits and
+            // cache hits are already durable there).
+            if computed[i] && cache_writes {
+                if let (Some(cache), Some(key), Some(summary)) = (&cache, &keys[i], &summaries[i]) {
+                    let store = match opts
+                        .chaos
+                        .as_ref()
+                        .and_then(|ch| ch.io_error(STREAM_CACHE_IO, c.index as u64))
+                    {
+                        Some(e) => Err(e),
+                        None => cache.store_cell(key, summary),
+                    };
+                    if let Err(e) = store {
+                        warnings.push(RunWarning {
+                            component: "cache",
+                            message: format!("cache write: {e}; caching disabled"),
+                        });
+                        cache_writes = false;
+                    }
+                }
             }
-            cells.push(record);
+            // Journal the decision before emitting it anywhere else: once
+            // appended, a kill cannot lose this cell.
+            if !from_journal[i] {
+                if let Some(j) = journal.as_mut() {
+                    let entry = match (&summaries[i], &failures[i]) {
+                        (Some(summary), _) => CellEntry::Done(summary.clone()),
+                        (None, Some((attempts, digest))) => CellEntry::Failed {
+                            attempts: *attempts,
+                            panic_digest: digest.clone(),
+                        },
+                        (None, None) => unreachable!("every cell is decided by now"),
+                    };
+                    if let Err(e) = j.append(c.index, &entry) {
+                        warnings.push(RunWarning {
+                            component: "journal",
+                            message: format!("journal write: {e}; journaling disabled"),
+                        });
+                        journal = None;
+                    }
+                }
+            }
+
+            match (summaries[i].take(), &failures[i]) {
+                (Some(mut summary), _) => {
+                    let optimal = optima[&(c.trace, c.catalog, c.split)];
+                    summary.optimal_energy_j = Some(optimal);
+                    summary.optimality_gap = if optimal > 0.0 {
+                        Some((summary.total_energy_j - optimal) / optimal)
+                    } else {
+                        None
+                    };
+                    let record = CellRecord {
+                        labels: spec.cell_labels(c),
+                        coords: *c,
+                        summary,
+                    };
+                    if let Some(s) = sink.as_deref_mut() {
+                        let write = match opts
+                            .chaos
+                            .as_ref()
+                            .and_then(|ch| ch.io_error(STREAM_SINK_IO, c.index as u64))
+                        {
+                            Some(e) => Err(e),
+                            None => s.cell(&record),
+                        };
+                        if let Err(e) = write {
+                            warnings.push(RunWarning {
+                                component: "sink",
+                                message: format!("artifact stream: {e}; streaming disabled"),
+                            });
+                            *sink = None;
+                        }
+                    }
+                    cells.push(record);
+                }
+                (None, Some((attempts, digest))) => {
+                    failed_cells.push(FailedCell {
+                        labels: spec.cell_labels(c),
+                        coords: *c,
+                        attempts: *attempts,
+                        panic_digest: digest.clone(),
+                    });
+                }
+                (None, None) => unreachable!("every cell is decided by now"),
+            }
+            emitted += 1;
+            if opts.kill_after == Some(emitted) {
+                return Err(format!(
+                    "simulated crash: killed after {emitted} of {} cells (journal durable at {})",
+                    coords.len(),
+                    journal
+                        .as_ref()
+                        .map(|j| j.path().display().to_string())
+                        .unwrap_or_else(|| "<none>".into()),
+                ));
+            }
         }
     }
 
     let outcome = GridOutcome {
         spec: spec.clone(),
         cells,
+        failed_cells,
     };
-    if let Some(sink) = sink.as_deref_mut() {
-        sink.finish(&outcome)
-            .map_err(|e| format!("artifact stream: {e}"))?;
+    if let Some(s) = sink.as_deref_mut() {
+        if let Err(e) = s.finish(&outcome) {
+            warnings.push(RunWarning {
+                component: "sink",
+                message: format!("artifact stream: {e}; streaming disabled"),
+            });
+            *sink = None;
+        }
     }
     Ok(GridRun {
         outcome,
         cache: stats,
+        warnings,
     })
 }
 

@@ -77,7 +77,9 @@
 pub mod aggregate;
 pub mod artifact;
 pub mod cache;
+pub mod chaos;
 pub mod executor;
+pub mod journal;
 pub mod json;
 pub mod refine;
 pub mod spec;
@@ -86,7 +88,11 @@ pub mod stream;
 pub use aggregate::{pareto_frontier, per_dimension_bests, DimensionBest};
 pub use artifact::{render_csv, render_json, render_json_with, write_artifacts, SCHEMA};
 pub use cache::{CacheStats, CellCache};
-pub use executor::{run_grid, CellRecord, GridOutcome, GridRun, GridRunner};
+pub use chaos::ChaosPolicy;
+pub use executor::{
+    run_grid, CellRecord, FailedCell, GridOutcome, GridRun, GridRunner, RunWarning,
+};
+pub use journal::{Journal, JOURNAL_NAME};
 pub use refine::{RefineBudget, RefineMeta, RefineOutcome};
 pub use spec::{
     CatalogSpec, CellCoords, GridSpec, GridSpecBuilder, SchedulerDim, TraceSpec, DIMENSIONS,

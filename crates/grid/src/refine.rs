@@ -35,7 +35,7 @@ use std::collections::BTreeSet;
 
 use crate::aggregate::pareto_frontier;
 use crate::cache::CacheStats;
-use crate::executor::{execute, GridOutcome};
+use crate::executor::{execute, ExecOptions, GridOutcome};
 use crate::spec::GridSpec;
 use crate::stream::CellSink;
 
@@ -114,7 +114,15 @@ pub(crate) fn drive(
 ) -> Result<RefineOutcome, String> {
     let mut no_sink: Option<&mut dyn CellSink> = None;
     let mut spec = seed.clone();
-    let mut run = execute(&spec, threads, cache_dir, None, &mut no_sink)?;
+    let mut run = execute(
+        &spec,
+        ExecOptions {
+            threads,
+            cache_dir,
+            ..ExecOptions::default()
+        },
+        &mut no_sink,
+    )?;
     let seeded_cells = run.outcome.cells.len() as u64;
     let mut stats = run.cache;
     let mut rounds = vec![RoundReport {
@@ -132,7 +140,15 @@ pub(crate) fn drive(
             break; // over budget: keep the last completed round
         }
         spec = next;
-        let r = execute(&spec, threads, cache_dir, None, &mut no_sink)?;
+        let r = execute(
+            &spec,
+            ExecOptions {
+                threads,
+                cache_dir,
+                ..ExecOptions::default()
+            },
+            &mut no_sink,
+        )?;
         stats.absorb(r.cache);
         run = r;
         rounds.push(RoundReport {

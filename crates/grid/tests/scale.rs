@@ -77,7 +77,7 @@ fn refinement_over_ten_thousand_cells_completes_and_streams() {
         streamed,
         render_json_with(&refined.outcome, Some(&refined.meta)) + "\n"
     );
-    assert!(streamed.contains("\"schema\":\"bml-grid/v4\""));
+    assert!(streamed.contains("\"schema\":\"bml-grid/v5\""));
     assert!(streamed.contains("\"refine\":{\"rounds\":"));
     assert!(streamed.contains("\"seeded_cells\":10000"));
     std::fs::remove_dir_all(&dir).ok();

@@ -203,12 +203,42 @@ pub struct FailureModel {
 impl FailureModel {
     /// The one way to spell a failure model: mean time between failures,
     /// repair delay, seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters are degenerate; use
+    /// [`FailureModel::try_new`] to handle that as an error instead.
     pub fn new(mtbf_s: f64, repair_s: u64, seed: u64) -> Self {
-        FailureModel {
+        match Self::try_new(mtbf_s, repair_s, seed) {
+            Ok(m) => m,
+            Err(e) => panic!("FailureModel::new: {e}"),
+        }
+    }
+
+    /// Validating constructor: rejects parameters that would silently
+    /// produce a degenerate sampler instead of the crash model the caller
+    /// asked for. The MTBF must be a finite, strictly positive number of
+    /// seconds (a NaN or non-positive MTBF would make the per-second
+    /// crash probability `1/mtbf_s` meaningless, and `clamp` would mask
+    /// it as "never fires"), and the repair delay must be non-zero (a
+    /// zero-second repair means crashes are invisible no-ops).
+    pub fn try_new(mtbf_s: f64, repair_s: u64, seed: u64) -> Result<Self, String> {
+        if !mtbf_s.is_finite() || mtbf_s <= 0.0 {
+            return Err(format!(
+                "mtbf_s must be a finite positive number of seconds, got {mtbf_s}"
+            ));
+        }
+        if repair_s == 0 {
+            return Err(
+                "repair_s must be non-zero: a zero-second repair makes every crash a no-op"
+                    .to_string(),
+            );
+        }
+        Ok(FailureModel {
             mtbf_s,
             repair_s,
             seed,
-        }
+        })
     }
 }
 
@@ -977,6 +1007,28 @@ mod tests {
         let b = run(&trace, &cfg);
         assert_eq!(a.failures_injected, b.failures_injected);
         assert_eq!(a.total_energy_j, b.total_energy_j);
+    }
+
+    #[test]
+    fn failure_model_rejects_degenerate_parameters() {
+        // Non-finite / non-positive MTBFs would make 1/mtbf_s meaningless;
+        // the clamp in FailureSampler used to mask them as "never fires".
+        for bad_mtbf in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = FailureModel::try_new(bad_mtbf, 10, 0).unwrap_err();
+            assert!(err.contains("mtbf_s"), "mtbf {bad_mtbf}: {err}");
+        }
+        // Zero repair makes every crash an invisible no-op.
+        let err = FailureModel::try_new(500.0, 0, 0).unwrap_err();
+        assert!(err.contains("repair_s"), "{err}");
+        // Valid parameters round-trip through both constructors.
+        let ok = FailureModel::try_new(500.0, 30, 7).unwrap();
+        assert_eq!(ok, FailureModel::new(500.0, 30, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "FailureModel::new: mtbf_s must be a finite positive")]
+    fn failure_model_new_panics_with_clear_message() {
+        let _ = FailureModel::new(f64::NAN, 10, 0);
     }
 
     #[test]

@@ -164,6 +164,73 @@ pub fn run_cells(jobs: &[CellJob<'_>], threads: Option<usize>) -> Vec<ScenarioRe
     }
 }
 
+/// A cell execution that panicked instead of producing a result: the
+/// payload, rendered to a message (`String`/`&str` payloads verbatim,
+/// anything else a placeholder). Produced by [`run_cells_checked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// The panic message (best-effort rendering of the payload).
+    pub message: String,
+}
+
+/// Render a caught panic payload to a message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Fault-isolated variant of [`run_cells`]: each cell runs under
+/// `catch_unwind`, so one panicking cell yields an `Err(CellPanic)` in
+/// its slot while every other cell still completes — the grid executor's
+/// retry/quarantine layer is built on this.
+///
+/// `inject` is a deterministic fault hook (the chaos harness): called
+/// with each job's **batch-local index** before the cell runs; returning
+/// `Some(msg)` makes that cell panic with `msg` instead of executing.
+/// The determinism contract of [`run_cells`] carries over: results land
+/// in input order whatever the thread count, and injection depends only
+/// on the index, never on scheduling.
+pub fn run_cells_checked(
+    jobs: &[CellJob<'_>],
+    threads: Option<usize>,
+    inject: Option<&(dyn Fn(usize) -> Option<String> + Sync)>,
+) -> Vec<Result<ScenarioResult, CellPanic>> {
+    let indices: Vec<usize> = (0..jobs.len()).collect();
+    let run = || {
+        indices
+            .par_iter()
+            .map(|&i| {
+                let j = &jobs[i];
+                // `run_cell` only touches the job's own borrows, and a
+                // panicking cell contributes nothing but its message, so
+                // no broken invariant can leak across the boundary.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(msg) = inject.and_then(|f| f(i)) {
+                        panic!("{msg}");
+                    }
+                    run_cell(j.trace, j.bml, &j.cell)
+                }))
+                .map_err(|payload| CellPanic {
+                    message: panic_message(payload.as_ref()),
+                })
+            })
+            .collect()
+    };
+    match threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n.max(1))
+            .build()
+            .expect("thread pool construction cannot fail")
+            .install(run),
+        None => run(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +349,39 @@ mod tests {
         }
         // Deterministic across calls (the cache key contract).
         assert_eq!(clean.stable_descriptor(), clean.stable_descriptor());
+    }
+
+    #[test]
+    fn run_cells_checked_isolates_injected_panics() {
+        let traces: Vec<_> = [200.0, 600.0, 1_000.0]
+            .iter()
+            .map(|&peak| step_trace(&[peak], 800))
+            .collect();
+        let bml = bml();
+        let jobs: Vec<CellJob<'_>> = traces
+            .iter()
+            .map(|t| CellJob {
+                trace: t,
+                bml: &bml,
+                cell: clean_cell(),
+            })
+            .collect();
+        let inject = |i: usize| (i == 1).then(|| format!("chaos: cell {i}"));
+        let clean = run_cells(&jobs, Some(1));
+        for threads in [1, 4] {
+            let checked = run_cells_checked(&jobs, Some(threads), Some(&inject));
+            assert_eq!(checked.len(), 3);
+            // Non-injected cells match the plain path bit-for-bit.
+            assert_eq!(checked[0].as_ref().unwrap(), &clean[0]);
+            assert_eq!(checked[2].as_ref().unwrap(), &clean[2]);
+            // The injected cell fails with its message, in its slot.
+            let panic = checked[1].as_ref().unwrap_err();
+            assert_eq!(panic.message, "chaos: cell 1");
+        }
+        // No injection: every slot is Ok and equals the plain path.
+        let unchecked = run_cells_checked(&jobs, Some(4), None);
+        let ok: Vec<_> = unchecked.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(ok, clean);
     }
 
     #[test]

@@ -20,8 +20,22 @@
 //! exactly one range atomically, so slot access is exclusive by
 //! construction. Output order is input order regardless of who ran what,
 //! which is what bml-grid's byte-identical-artifacts guarantee rests on.
+//!
+//! # Panic propagation
+//!
+//! A panicking task must not take down unrelated work. Each task runs
+//! under `catch_unwind`, its outcome (value or panic payload) lands in
+//! its slot, and the worker moves on — every other item still executes,
+//! whichever worker it was scheduled on. Only at the drain, after all
+//! items are accounted for, is the panic of the **lowest input index**
+//! resumed (deterministic whatever the thread count), matching upstream
+//! rayon's semantics of propagating a caught task panic to the caller.
+//! Previously a panicking task killed its worker thread without
+//! decrementing the remaining-items counter, leaving the surviving
+//! workers spinning forever: one bad cell hung the whole run.
 
 use std::cell::{Cell, UnsafeCell};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 std::thread_local! {
@@ -137,6 +151,11 @@ impl ThreadPool {
 }
 
 /// Run `a` and `b` concurrently and return both results (`rayon::join`).
+///
+/// If `b` panics, its original payload is resumed on the caller (as
+/// upstream rayon does) instead of being replaced by a join-poisoning
+/// `expect` — callers that `catch_unwind` around `join` observe the real
+/// panic, and `a`'s side ran to completion independently.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -147,7 +166,10 @@ where
     std::thread::scope(|s| {
         let hb = s.spawn(b);
         let ra = a();
-        let rb = hb.join().expect("rayon shim: joined closure panicked");
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         (ra, rb)
     })
 }
@@ -259,11 +281,21 @@ fn steal_half(me: usize, ranges: &[AtomicU64]) -> Option<u64> {
 /// Order-preserving parallel map over the work-stealing range pool (see
 /// the module docs): each worker owns an atomic index range, pops from
 /// its front, and steals the back half of a peer's range when it drains.
+///
+/// Task panics are caught per item and propagated as values to the
+/// drain, which runs every item to completion first and then resumes the
+/// panic of the lowest input index (see the module docs). The sequential
+/// fallback mirrors that exactly, so 1-thread runs are a faithful
+/// reference for panicking workloads too.
 fn run_parallel<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -> Vec<R> {
     let n = items.len();
     let workers = max_threads().min(n);
+    // `f` crossing the catch_unwind boundary is safe to assert: either
+    // the payload is resumed on the caller below (observationally the
+    // same panic) or `f` never panicked.
+    let call = |item: I| std::panic::catch_unwind(AssertUnwindSafe(|| f(item)));
     if n <= 1 || workers <= 1 {
-        return items.into_iter().map(f).collect();
+        return drain(items.into_iter().map(call).collect());
     }
     assert!(
         u32::try_from(n).is_ok(),
@@ -273,7 +305,8 @@ fn run_parallel<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -
         .into_iter()
         .map(|i| Slot(UnsafeCell::new(Some(i))))
         .collect();
-    let outputs: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let outputs: Vec<Slot<std::thread::Result<R>>> =
+        (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
     let remaining = AtomicUsize::new(n);
     let ranges: Vec<AtomicU64> = (0..workers)
         .map(|w| {
@@ -287,13 +320,14 @@ fn run_parallel<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -
         for w in 0..workers {
             let (inputs, outputs) = (&inputs, &outputs);
             let (ranges, remaining) = (&ranges, &remaining);
+            let call = &call;
             s.spawn(move || loop {
                 if let Some(idx) = pop_front(&ranges[w]) {
                     // SAFETY: `idx` just left the one range containing it,
                     // so this worker is its sole claimant (Slot contract).
                     let item = unsafe { (*inputs[idx].0.get()).take() }
                         .expect("rayon shim: input slot taken twice");
-                    let result = f(item);
+                    let result = call(item);
                     unsafe { *outputs[idx].0.get() = Some(result) };
                     remaining.fetch_sub(1, Ordering::Release);
                     continue;
@@ -312,10 +346,25 @@ fn run_parallel<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -
             });
         }
     });
-    outputs
-        .into_iter()
-        .map(|slot| slot.0.into_inner().expect("rayon shim: worker left a hole"))
-        .collect()
+    drain(
+        outputs
+            .into_iter()
+            .map(|slot| slot.0.into_inner().expect("rayon shim: worker left a hole"))
+            .collect(),
+    )
+}
+
+/// Unwrap a completed map: all values, or resume the first (lowest input
+/// index) caught panic after every item has run.
+fn drain<R>(results: Vec<std::thread::Result<R>>) -> Vec<R> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
 }
 
 /// Conversion into a [`ParIter`], by value (`rayon::IntoParallelIterator`).
@@ -486,6 +535,83 @@ mod tests {
                 .collect()
         });
         assert_eq!(out, (0..1_000).map(|x| x * 7).collect::<Vec<_>>());
+    }
+
+    /// One panicking task must not take down unrelated work: every other
+    /// item still runs, and the caller observes the original payload.
+    #[test]
+    fn panicking_task_propagates_payload_and_others_complete() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let ran = AtomicUsize::new(0);
+        let v: Vec<u64> = (0..200).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Vec<u64> = pool.install(|| {
+                v.par_iter()
+                    .map(|&x| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                        assert!(x != 137, "cell 137 exploded");
+                        x
+                    })
+                    .collect()
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .expect("literal assert! payload is a &str");
+        assert!(msg.contains("cell 137 exploded"), "got: {msg}");
+        // The panicking item counted itself too: nothing was skipped.
+        assert_eq!(ran.load(Ordering::Relaxed), 200);
+    }
+
+    /// With several panicking tasks, the lowest input index wins at the
+    /// drain — deterministic whatever the thread count.
+    #[test]
+    fn lowest_index_panic_wins() {
+        for threads in [1, 8] {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let v: Vec<u64> = (0..100).collect();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _: Vec<u64> = pool.install(|| {
+                    v.par_iter()
+                        .map(|&x| {
+                            if x == 13 || x == 77 {
+                                panic!("boom at {x}");
+                            }
+                            x
+                        })
+                        .collect()
+                });
+            }));
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<String>().expect("String payload");
+            assert_eq!(msg, "boom at 13", "threads={threads}");
+        }
+    }
+
+    /// `join` resumes the spawned side's original payload instead of a
+    /// join-poisoning `expect`, and the other side's work still ran.
+    #[test]
+    fn join_propagates_original_panic_payload() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let a_ran = AtomicBool::new(false);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            super::join(
+                || a_ran.store(true, Ordering::Relaxed),
+                || panic!("b exploded"),
+            )
+        }));
+        let payload = caught.expect_err("b's panic must propagate");
+        let msg = payload.downcast_ref::<&str>().expect("&str payload");
+        assert_eq!(*msg, "b exploded");
+        assert!(a_ran.load(Ordering::Relaxed), "a's side must have run");
     }
 
     #[test]
