@@ -17,7 +17,11 @@
 //! With `--json PATH` a machine-readable summary (totals, per-day
 //! energies, overhead statistics, wall time) is also written — the CI
 //! smoke job runs `--days 2 --json BENCH_fig5.json` and uploads it as the
-//! perf-trajectory artifact.
+//! perf-trajectory artifact. With `--telemetry-out PATH` a `bml-obs/v1`
+//! telemetry document is written too: engine counters (reconfigurations,
+//! segments batched, events skipped, failure epochs) merged in scenario
+//! order on the deterministic plane, the comparison and DP-solve wall
+//! clocks as spans on the host plane.
 
 use bml_bench::{json, Args};
 use bml_core::bml::BmlInfrastructure;
@@ -183,6 +187,47 @@ fn main() {
             )
             .objs("scenarios", scenarios);
         summary.write(path).expect("write JSON summary");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &args.telemetry_out {
+        let mut rec = bml_obs::Recorder::new();
+        // Deterministic plane: engine counters merged in scenario order
+        // (the four comparison rows, then the verified optimum's replay).
+        let mut rows = c.scenarios().to_vec();
+        rows.push(&opt_row);
+        for s in rows.iter().copied() {
+            rec.count("engine.reconfigurations", s.reconfigurations);
+            rec.count("engine.nodes_switched_on", s.nodes_switched_on);
+            rec.count("engine.nodes_switched_off", s.nodes_switched_off);
+            rec.count("engine.failure_epochs", s.failures_injected);
+            rec.count("engine.segments_batched", s.segments_batched);
+            rec.count("engine.events_skipped", s.events_skipped);
+            rec.count("engine.fallback_unsegmented", s.fallback_unsegmented);
+            rec.count("engine.violation_seconds", s.qos.violation_seconds);
+            rec.count("scenarios.run", 1);
+        }
+        rec.count("opt.solves", 1);
+        rec.count("opt.states", opt_sched.n_states as u64);
+        rec.count("opt.segments", opt_sched.n_segments as u64);
+        rec.count("opt.boundaries", opt_sched.n_boundaries as u64);
+        rec.count("opt.states_pruned", opt_sched.states_pruned);
+        // Host plane: where the wall clock went.
+        rec.span(
+            "phase.comparison",
+            std::time::Duration::from_secs_f64(wall_s),
+        );
+        rec.span(
+            "phase.opt_solve",
+            std::time::Duration::from_secs_f64(opt_wall_s),
+        );
+        let document = rec.render_document(&[
+            ("experiment", "fig5_bounds".to_string()),
+            ("seed", args.seed.to_string()),
+            ("days", days.to_string()),
+            ("stepping", stepping_name.to_string()),
+        ]);
+        std::fs::write(path, document).expect("write telemetry document");
         eprintln!("wrote {path}");
     }
 }

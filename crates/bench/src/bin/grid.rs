@@ -18,9 +18,19 @@
 //! Without `--stepping` the grid sweeps *both* modes as a dimension (CI
 //! diffs the twins); with it, only the requested mode runs. With
 //! `--cache-dir`, cell results are memoized content-addressed under that
-//! directory and a `cell cache: H hits / T lookups` line lands on stderr
-//! (never in the artifact) — CI re-runs the smoke grid warm and demands
-//! a ≥95% hit rate with byte-identical artifacts.
+//! directory.
+//!
+//! # Telemetry
+//!
+//! Every run writes a `bml-obs/v1` telemetry document (default
+//! `BENCH_grid.telemetry.json` under `--out-dir`, overridable with
+//! `--telemetry-out`): deterministic counters in the `counters` section
+//! (byte-identical across thread counts and cache temperature — CI gates
+//! on them), host timings and host-variant counts (cache hits, steals,
+//! retries) in the `timings` section (never gated). Progress goes to
+//! stderr as single-line JSON events — a throttled `heartbeat` with the
+//! cells-per-second rate while running, then `cache`/`phases`/`done`
+//! summaries; every event keeps a human-readable `message` field.
 //!
 //! # Fault tolerance
 //!
@@ -37,8 +47,9 @@
 //! resumes it, and diffs the artifacts against a clean run.
 
 use std::path::Path;
+use std::time::Duration;
 
-use bml_bench::Args;
+use bml_bench::{json, Args};
 use bml_core::combination::SplitPolicy;
 use bml_grid::spec::{CatalogSpec, GridSpec, SchedulerDim};
 use bml_grid::{
@@ -74,6 +85,11 @@ fn smoke_spec(days: u32, seed: u64, steppings: Vec<Stepping>) -> GridSpec {
         .expect("the smoke grid is always a valid spec")
 }
 
+/// Print one structured event as a single JSON line on stderr.
+fn event(obj: json::Object) {
+    eprintln!("{}", obj.render());
+}
+
 fn main() {
     let args = Args::parse();
     let days = args.days_or(3); // the grid multiplies the trace 144-fold; default small
@@ -82,16 +98,30 @@ fn main() {
         Some(s) => vec![s],
     };
     let spec = smoke_spec(days, args.seed, steppings);
-    eprintln!(
-        "grid '{}': {} cells x {} days, {} threads...",
-        spec.name,
-        spec.n_cells(),
-        days,
-        args.threads
-            .map_or_else(|| "default".to_string(), |n| n.to_string()),
+    let threads_label = args
+        .threads
+        .map_or_else(|| "default".to_string(), |n| n.to_string());
+    event(
+        json::Object::new()
+            .str("event", "start")
+            .str("grid", &spec.name)
+            .int("cells", spec.n_cells() as u64)
+            .int("days", u64::from(days))
+            .str("threads", &threads_label)
+            .str(
+                "message",
+                &format!(
+                    "grid '{}': {} cells x {days} days, {threads_label} threads...",
+                    spec.name,
+                    spec.n_cells(),
+                ),
+            ),
     );
     let mut sink = StreamingArtifactWriter::create(Path::new(&args.out_dir)).unwrap_or_else(|e| {
-        eprintln!("cannot open artifacts under {}: {e}", args.out_dir);
+        event(json::Object::new().str("event", "error").str(
+            "message",
+            &format!("cannot open artifacts under {}: {e}", args.out_dir),
+        ));
         std::process::exit(1)
     });
     let started = std::time::Instant::now();
@@ -100,6 +130,7 @@ fn main() {
         .threads_opt(args.threads)
         .cache_dir_opt(args.cache_dir.as_deref())
         .max_retries(args.max_retries_or(1))
+        .heartbeat(Duration::from_secs(1))
         .sink(&mut sink);
     runner = if args.resume {
         runner.resume(out_dir)
@@ -116,43 +147,90 @@ fn main() {
     if let Some(n) = args.kill_after {
         runner = runner.kill_after_cells(n);
     }
-    let run = runner.run().unwrap_or_else(|e| {
-        eprintln!("grid run failed: {e}");
+    let mut run = runner.run().unwrap_or_else(|e| {
+        event(
+            json::Object::new()
+                .str("event", "error")
+                .str("message", &format!("grid run failed: {e}")),
+        );
         std::process::exit(2)
     });
     let wall_s = started.elapsed().as_secs_f64();
-    let out = &run.outcome;
     for w in &run.warnings {
-        eprintln!("warning: {} degraded: {}", w.component, w.message);
-    }
-    if !out.failed_cells.is_empty() {
-        eprintln!(
-            "quarantined {} of {} cells after exhausted retries (see failed_cells in the artifact)",
-            out.failed_cells.len(),
-            out.cells.len() + out.failed_cells.len(),
+        event(
+            json::Object::new()
+                .str("event", "warning")
+                .str("component", w.component)
+                .str(
+                    "message",
+                    &format!("warning: {} degraded: {}", w.component, w.message),
+                ),
         );
     }
-    let sim_seconds = out.cells.len() as u64 * u64::from(days) * 86_400;
-    eprintln!(
-        "ran {} cells ({} simulated seconds) in {wall_s:.2} s \
-         ({:.1} cells/s, {:.0} simulated-s/wallclock-s)",
-        out.cells.len(),
-        sim_seconds,
-        out.cells.len() as f64 / wall_s,
-        sim_seconds as f64 / wall_s,
+    if !run.outcome.failed_cells.is_empty() {
+        let failed = run.outcome.failed_cells.len();
+        let total = run.outcome.cells.len() + failed;
+        event(
+            json::Object::new()
+                .str("event", "quarantine")
+                .int("failed_cells", failed as u64)
+                .int("total_cells", total as u64)
+                .str(
+                    "message",
+                    &format!(
+                        "quarantined {failed} of {total} cells after exhausted retries \
+                         (see failed_cells in the artifact)"
+                    ),
+                ),
+        );
+    }
+    let n_ok = run.outcome.cells.len();
+    let sim_seconds = n_ok as u64 * u64::from(days) * 86_400;
+    event(
+        json::Object::new()
+            .str("event", "done")
+            .int("cells", n_ok as u64)
+            .int("sim_seconds", sim_seconds)
+            .num("wall_s", wall_s)
+            .num("cells_per_s", n_ok as f64 / wall_s)
+            .num("sim_seconds_per_wall_second", sim_seconds as f64 / wall_s)
+            .str(
+                "message",
+                &format!(
+                    "ran {n_ok} cells ({sim_seconds} simulated seconds) in {wall_s:.2} s \
+                     ({:.1} cells/s)",
+                    n_ok as f64 / wall_s,
+                ),
+            ),
     );
     if args.cache_dir.is_some() {
-        // Telemetry only: CI parses this line; artifacts never carry it.
-        eprintln!(
-            "cell cache: {} hits / {} lookups ({:.1}%), {} opt hits / {} opt lookups",
-            run.cache.hits,
-            run.cache.lookups,
-            100.0 * run.cache.hit_rate(),
-            run.cache.opt_hits,
-            run.cache.opt_lookups,
+        // Telemetry only — CI reads the same numbers from the telemetry
+        // artifact's host section; artifacts never carry them.
+        event(
+            json::Object::new()
+                .str("event", "cache")
+                .int("hits", run.cache.hits)
+                .int("lookups", run.cache.lookups)
+                .int("opt_hits", run.cache.opt_hits)
+                .int("opt_lookups", run.cache.opt_lookups)
+                .num("hit_rate", run.cache.hit_rate())
+                .str(
+                    "message",
+                    &format!(
+                        "cell cache: {} hits / {} lookups ({:.1}%), \
+                         {} opt hits / {} opt lookups",
+                        run.cache.hits,
+                        run.cache.lookups,
+                        100.0 * run.cache.hit_rate(),
+                        run.cache.opt_hits,
+                        run.cache.opt_lookups,
+                    ),
+                ),
         );
     }
 
+    let render_t0 = std::time::Instant::now();
+    let out = &run.outcome;
     println!(
         "Grid '{}' — best cell per dimension value (root seed {}):\n",
         spec.name, spec.root_seed
@@ -215,6 +293,65 @@ fn main() {
         print!("{}", p.render());
     }
 
-    let (json, csv) = sink.paths();
-    eprintln!("wrote {} and {}", json.display(), csv.display());
+    run.telemetry.span("phase.render", render_t0.elapsed());
+
+    // Phase-timing summary: where the wall clock went, host plane only.
+    let phase_us = |name: &str| run.telemetry.timings.span(name).map_or(0, |s| s.total_us);
+    event(
+        json::Object::new()
+            .str("event", "phases")
+            .int("opt_solve_us", phase_us("phase.opt_solve"))
+            .int("cells_us", phase_us("phase.cells"))
+            .int("render_us", phase_us("phase.render"))
+            .str(
+                "message",
+                &format!(
+                    "phases: opt solve {} us, cells {} us, render {} us",
+                    phase_us("phase.opt_solve"),
+                    phase_us("phase.cells"),
+                    phase_us("phase.render"),
+                ),
+            ),
+    );
+
+    let telemetry_path = args.telemetry_out.clone().unwrap_or_else(|| {
+        out_dir
+            .join("BENCH_grid.telemetry.json")
+            .display()
+            .to_string()
+    });
+    let document = run.telemetry.render_document(&[
+        ("experiment", "grid".to_string()),
+        ("grid", spec.name.clone()),
+        ("root_seed", spec.root_seed.to_string()),
+        ("days", days.to_string()),
+    ]);
+    if let Err(e) = std::fs::write(&telemetry_path, document) {
+        event(
+            json::Object::new()
+                .str("event", "warning")
+                .str("component", "telemetry")
+                .str(
+                    "message",
+                    &format!("warning: telemetry degraded: {telemetry_path}: {e}"),
+                ),
+        );
+    }
+
+    let (json_path, csv_path) = sink.paths();
+    event(
+        json::Object::new()
+            .str("event", "artifacts")
+            .str("json", &json_path.display().to_string())
+            .str("csv", &csv_path.display().to_string())
+            .str("telemetry", &telemetry_path)
+            .str(
+                "message",
+                &format!(
+                    "wrote {}, {}, and {telemetry_path}",
+                    json_path.display(),
+                    csv_path.display(),
+                ),
+            ),
+    );
 }

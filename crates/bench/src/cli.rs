@@ -12,7 +12,7 @@
 pub const USAGE: &str = "usage: [--seed N] [--days N] [--window S] [--noise SIGMA] [--csv] \
      [--json PATH] [--threads N] [--out-dir PATH] [--cache-dir PATH] \
      [--stepping event|per-second] [--resume] [--max-retries N] \
-     [--chaos SEED] [--kill-after N]";
+     [--chaos SEED] [--kill-after N] [--telemetry-out PATH]";
 
 /// Common command-line options of the experiment binaries.
 ///
@@ -68,6 +68,10 @@ pub struct Args {
     /// Deterministically crash the `grid` binary after N emitted cells
     /// (crash-resume testing); `None` runs to completion.
     pub kill_after: Option<usize>,
+    /// Path for the `bml-obs/v1` telemetry document. The `grid` binary
+    /// defaults to `BENCH_grid.telemetry.json` under `--out-dir`; other
+    /// binaries only write telemetry when this flag is given.
+    pub telemetry_out: Option<String>,
 }
 
 impl Default for Args {
@@ -87,6 +91,7 @@ impl Default for Args {
             max_retries: None,
             chaos: None,
             kill_after: None,
+            telemetry_out: None,
         }
     }
 }
@@ -152,6 +157,7 @@ impl Args {
                     }
                     out.kill_after = Some(n);
                 }
+                "--telemetry-out" => out.telemetry_out = Some(value("--telemetry-out")?),
                 "--help" | "-h" => return Err(USAGE.into()),
                 other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
             }
@@ -210,6 +216,14 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_out_requires_a_value() {
+        let err = try_parse(&["--telemetry-out"]).unwrap_err();
+        assert!(err.contains("missing value for --telemetry-out"), "{err}");
+        assert!(err.contains("--telemetry-out PATH"), "{err}");
+        assert_eq!(parse(&[]).telemetry_out, None);
+    }
+
+    #[test]
     fn defaults() {
         let a = parse(&[]);
         assert_eq!(a.seed, 1998);
@@ -260,6 +274,8 @@ mod tests {
             "/tmp/cells",
             "--stepping",
             "per-second",
+            "--telemetry-out",
+            "telemetry.json",
         ]);
         assert_eq!(a.seed, 7);
         assert_eq!(a.days, Some(3));
@@ -271,6 +287,7 @@ mod tests {
         assert_eq!(a.out_dir, "artifacts");
         assert_eq!(a.cache_dir.as_deref(), Some("/tmp/cells"));
         assert_eq!(a.stepping, Some(bml_sim::Stepping::PerSecond));
+        assert_eq!(a.telemetry_out.as_deref(), Some("telemetry.json"));
     }
 
     #[test]

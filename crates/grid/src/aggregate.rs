@@ -139,6 +139,9 @@ mod tests {
                         nodes_switched_off: 0,
                         reconfig_energy_j: 0.0,
                         instance_migrations: 0,
+                        segments_batched: 0,
+                        events_skipped: 0,
+                        fallback_unsegmented: 0,
                         stepping_effective: Stepping::EventDriven,
                         optimal_energy_j: None,
                         optimality_gap: None,

@@ -51,7 +51,12 @@ use bml_trace::LoadTrace;
 
 /// Version tag of the on-disk entry encoding. Bump on any change to the
 /// entry format or field set; old entries then simply miss.
-pub const CACHE_FORMAT: &str = "bml-cell-cache/v1";
+///
+/// v2: cell entries carry the engine's telemetry counters
+/// (`segments_batched`, `events_skipped`, `fallback_unsegmented`) and
+/// optimum entries carry the solver's work counters — both so warm runs
+/// merge byte-identical counter planes without re-executing anything.
+pub const CACHE_FORMAT: &str = "bml-cell-cache/v2";
 
 /// 128-bit content hash built from two independently-seeded 64-bit
 /// FNV-1a streams. Not cryptographic — the cache is a private
@@ -256,27 +261,73 @@ impl CellCache {
         write_atomic(&self.cells, key, &encode_summary(summary))
     }
 
-    /// Load a cached optimum energy by key.
-    pub fn load_opt(&self, key: &str) -> Option<f64> {
+    /// Load a cached optimum solve by key.
+    pub fn load_opt(&self, key: &str) -> Option<OptEntry> {
         let text = std::fs::read_to_string(self.opts.join(key)).ok()?;
         let mut lines = text.lines();
         if lines.next() != Some(CACHE_FORMAT) {
             return None;
         }
-        let v = f64::from_bits(parse_hex_field(lines.next()?, "optimal_energy_j")?);
-        if lines.next().is_some() || !v.is_finite() {
+        let entry = OptEntry {
+            energy_j: f64::from_bits(parse_hex_field(lines.next()?, "optimal_energy_j")?),
+            n_states: parse_dec_field(lines.next()?, "n_states")?,
+            n_segments: parse_dec_field(lines.next()?, "n_segments")?,
+            n_boundaries: parse_dec_field(lines.next()?, "n_boundaries")?,
+            states_pruned: parse_dec_field(lines.next()?, "states_pruned")?,
+        };
+        if lines.next().is_some() || !entry.energy_j.is_finite() {
             return None;
         }
-        Some(v)
+        Some(entry)
     }
 
-    /// Store an optimum energy under `key`.
-    pub fn store_opt(&self, key: &str, energy_j: f64) -> io::Result<()> {
+    /// Store an optimum solve under `key`.
+    pub fn store_opt(&self, key: &str, entry: &OptEntry) -> io::Result<()> {
         let body = format!(
-            "{CACHE_FORMAT}\noptimal_energy_j={:016x}\n",
-            energy_j.to_bits()
+            "{CACHE_FORMAT}\n\
+             optimal_energy_j={:016x}\n\
+             n_states={}\n\
+             n_segments={}\n\
+             n_boundaries={}\n\
+             states_pruned={}\n",
+            entry.energy_j.to_bits(),
+            entry.n_states,
+            entry.n_segments,
+            entry.n_boundaries,
+            entry.states_pruned,
         );
         write_atomic(&self.opts, key, &body)
+    }
+}
+
+/// One cached offline-optimum solve: the energy the cells are stamped
+/// with, plus the solver's deterministic work counters — cached alongside
+/// so a warm run's telemetry counter plane is byte-identical to a cold
+/// one without re-running the DP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptEntry {
+    /// Minimum total energy (J); see [`bml_opt::OptimalSchedule::energy_j`].
+    pub energy_j: f64,
+    /// DP states considered.
+    pub n_states: u64,
+    /// Constant-load segments.
+    pub n_segments: u64,
+    /// Segment boundaries crossed.
+    pub n_boundaries: u64,
+    /// States beam-pruned in the forward pass (0 for the exact DP).
+    pub states_pruned: u64,
+}
+
+impl OptEntry {
+    /// Build from a solved schedule.
+    pub fn from_schedule(s: &bml_opt::OptimalSchedule) -> Self {
+        OptEntry {
+            energy_j: s.energy_j,
+            n_states: s.n_states as u64,
+            n_segments: s.n_segments as u64,
+            n_boundaries: s.n_boundaries as u64,
+            states_pruned: s.states_pruned,
+        }
     }
 }
 
@@ -305,6 +356,9 @@ pub(crate) fn encode_summary(s: &CellSummary) -> String {
          nodes_switched_off={}\n\
          reconfig_energy_j={:016x}\n\
          instance_migrations={}\n\
+         segments_batched={}\n\
+         events_skipped={}\n\
+         fallback_unsegmented={}\n\
          stepping_effective={}\n",
         s.total_energy_j.to_bits(),
         s.mean_power_w.to_bits(),
@@ -316,6 +370,9 @@ pub(crate) fn encode_summary(s: &CellSummary) -> String {
         s.nodes_switched_off,
         s.reconfig_energy_j.to_bits(),
         s.instance_migrations,
+        s.segments_batched,
+        s.events_skipped,
+        s.fallback_unsegmented,
         crate::spec::stepping_label(s.stepping_effective),
     )
 }
@@ -344,6 +401,9 @@ pub(crate) fn decode_summary(text: &str) -> Option<CellSummary> {
         nodes_switched_off: parse_dec_field(lines.next()?, "nodes_switched_off")?,
         reconfig_energy_j: f64::from_bits(parse_hex_field(lines.next()?, "reconfig_energy_j")?),
         instance_migrations: parse_dec_field(lines.next()?, "instance_migrations")?,
+        segments_batched: parse_dec_field(lines.next()?, "segments_batched")?,
+        events_skipped: parse_dec_field(lines.next()?, "events_skipped")?,
+        fallback_unsegmented: parse_dec_field(lines.next()?, "fallback_unsegmented")?,
         stepping_effective: match lines
             .next()?
             .strip_prefix("stepping_effective")?
@@ -380,6 +440,9 @@ mod tests {
             nodes_switched_off: 4,
             reconfig_energy_j: 321.0,
             instance_migrations: 2,
+            segments_batched: 88,
+            events_skipped: 1_234,
+            fallback_unsegmented: 0,
             stepping_effective: Stepping::EventDriven,
             optimal_energy_j: Some(12000.0),
             optimality_gap: Some(0.0288),
@@ -412,10 +475,28 @@ mod tests {
     fn optimum_roundtrips_exactly() {
         let dir = tmp_dir("opt");
         let cache = CellCache::open(&dir).unwrap();
-        let v = 98_765.432_109_876_54;
-        cache.store_opt("o1", v).unwrap();
-        assert_eq!(cache.load_opt("o1").unwrap().to_bits(), v.to_bits());
+        let entry = OptEntry {
+            energy_j: 98_765.432_109_876_54,
+            n_states: 12,
+            n_segments: 345,
+            n_boundaries: 344,
+            states_pruned: 7,
+        };
+        cache.store_opt("o1", &entry).unwrap();
+        let loaded = cache.load_opt("o1").unwrap();
+        assert_eq!(loaded.energy_j.to_bits(), entry.energy_j.to_bits());
+        assert_eq!(loaded, entry);
         assert_eq!(cache.load_opt("o2"), None);
+        // A v1-era entry (energy only) is a miss, not a panic.
+        std::fs::write(
+            dir.join("opt").join("o1"),
+            format!(
+                "bml-cell-cache/v1\noptimal_energy_j={:016x}\n",
+                entry.energy_j.to_bits()
+            ),
+        )
+        .unwrap();
+        assert_eq!(cache.load_opt("o1"), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 

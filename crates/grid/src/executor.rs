@@ -60,13 +60,15 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use bml_core::scheduler::paper_window_length;
+use bml_obs::{Heartbeat, Recorder};
 use bml_sim::exec::{run_cells_checked, CellConfig, CellJob};
 use bml_sim::{CellSummary, SimConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{self, CacheStats, CellCache};
+use crate::cache::{self, CacheStats, CellCache, OptEntry};
 use crate::chaos::{panic_digest, ChaosPolicy, STREAM_CACHE_IO, STREAM_SINK_IO};
 use crate::journal::{self, CellEntry, Journal};
 use crate::refine::RefineMeta;
@@ -135,8 +137,8 @@ pub struct RunWarning {
 }
 
 /// A completed [`GridRunner`] run: the outcome plus the cache counters
-/// (all zero when no cache directory was configured) and any degradation
-/// warnings.
+/// (all zero when no cache directory was configured), any degradation
+/// warnings, and the run's two-plane telemetry.
 #[derive(Debug)]
 pub struct GridRun {
     /// The executed grid.
@@ -145,6 +147,11 @@ pub struct GridRun {
     pub cache: CacheStats,
     /// Components that degraded during the run (empty = fully healthy).
     pub warnings: Vec<RunWarning>,
+    /// Run telemetry (see [`bml_obs`]): the `counters` plane is merged in
+    /// enumeration order and byte-identical across thread counts and
+    /// cache temperature; everything host-dependent (cache hits, steals,
+    /// retries, wall clock) lives on the `timings` plane.
+    pub telemetry: Recorder,
 }
 
 /// Configures and executes one grid run (builder-style).
@@ -162,11 +169,12 @@ pub struct GridRunner<'a> {
     resume: bool,
     chaos: Option<ChaosPolicy>,
     kill_after: Option<usize>,
+    heartbeat: Option<Duration>,
 }
 
 impl<'a> GridRunner<'a> {
     /// A runner for `spec` with no thread cap, no cache, no sink, no
-    /// journal, and one retry per panicking cell.
+    /// journal, no heartbeat, and one retry per panicking cell.
     pub fn new(spec: &'a GridSpec) -> Self {
         GridRunner {
             spec,
@@ -178,6 +186,7 @@ impl<'a> GridRunner<'a> {
             resume: false,
             chaos: None,
             kill_after: None,
+            heartbeat: None,
         }
     }
 
@@ -265,6 +274,16 @@ impl<'a> GridRunner<'a> {
         self
     }
 
+    /// Emit a throttled progress heartbeat — one single-line JSON event
+    /// on stderr at most every `interval`, carrying cells done / total
+    /// and the cells-per-second rate. Off by default (tests and library
+    /// callers stay silent); the `grid` binary turns it on.
+    #[must_use]
+    pub fn heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = Some(interval);
+        self
+    }
+
     /// Execute every cell of the spec.
     ///
     /// Fails fast on an invalid spec (unknown trace source, unbuildable
@@ -286,6 +305,7 @@ impl<'a> GridRunner<'a> {
                 resume: self.resume,
                 chaos: self.chaos,
                 kill_after: self.kill_after,
+                heartbeat: self.heartbeat,
             },
             &mut sink,
         )
@@ -330,6 +350,7 @@ pub(crate) struct ExecOptions<'a> {
     pub resume: bool,
     pub chaos: Option<ChaosPolicy>,
     pub kill_after: Option<usize>,
+    pub heartbeat: Option<Duration>,
 }
 
 impl Default for ExecOptions<'_> {
@@ -343,6 +364,7 @@ impl Default for ExecOptions<'_> {
             resume: false,
             chaos: None,
             kill_after: None,
+            heartbeat: None,
         }
     }
 }
@@ -369,6 +391,7 @@ pub(crate) fn execute(
         .collect::<Result<_, _>>()?;
 
     let mut stats = CacheStats::default();
+    let mut telemetry = Recorder::new();
     let mut warnings: Vec<RunWarning> = Vec::new();
     // Disabled components stay disabled: after a write error there is no
     // telling what state the backing store is in, so the run degrades to
@@ -401,7 +424,10 @@ pub(crate) fn execute(
     // Optima first: one verified solve per distinct (trace, catalog,
     // split) triple — the only dimensions the optimum depends on. Solving
     // before the fan-out lets each record be stamped (and streamed)
-    // complete the moment its cell finishes.
+    // complete the moment its cell finishes. Solver statistics travel
+    // with the cached entry, so the merged `opt.*` counters are identical
+    // on cold and warm caches (the triple order `(t, c, s)` never moves).
+    let opt_t0 = Instant::now();
     let opt_options = bml_opt::OptOptions::default();
     let mut optima: BTreeMap<(usize, usize, usize), f64> = BTreeMap::new();
     for t in 0..traces.len() {
@@ -417,15 +443,16 @@ pub(crate) fn execute(
                     }
                     (key, hit)
                 });
-                let energy = match &cached {
-                    Some((_, Some(energy))) => *energy,
+                let entry = match &cached {
+                    Some((_, Some(entry))) => *entry,
                     _ => {
                         let (sched, _) =
                             bml_opt::solve_verified(&traces[t], &catalogs[c], split, &opt_options)
                                 .expect("exact DP cannot dead-end");
+                        let entry = OptEntry::from_schedule(&sched);
                         if let (Some(cache), Some((key, None))) = (&cache, &cached) {
                             if cache_writes {
-                                if let Err(e) = cache.store_opt(key, sched.energy_j) {
+                                if let Err(e) = cache.store_opt(key, &entry) {
                                     warnings.push(RunWarning {
                                         component: "cache",
                                         message: format!("cache write: {e}; caching disabled"),
@@ -434,13 +461,19 @@ pub(crate) fn execute(
                                 }
                             }
                         }
-                        sched.energy_j
+                        entry
                     }
                 };
-                optima.insert((t, c, s), energy);
+                telemetry.count("opt.solves", 1);
+                telemetry.count("opt.states", entry.n_states);
+                telemetry.count("opt.segments", entry.n_segments);
+                telemetry.count("opt.boundaries", entry.n_boundaries);
+                telemetry.count("opt.states_pruned", entry.states_pruned);
+                optima.insert((t, c, s), entry.energy_j);
             }
         }
     }
+    telemetry.span("phase.opt_solve", opt_t0.elapsed());
 
     // The journal replays decisions from a killed run with the same
     // fingerprint (spec + schema + RNG keying + retry budget + chaos
@@ -474,8 +507,12 @@ pub(crate) fn execute(
         },
         None => None,
     };
+    if !journaled.is_empty() {
+        telemetry.host_count("journal.replayed_cells", journaled.len() as u64);
+    }
 
     let coords = spec.cells();
+    telemetry.count("cells.total", coords.len() as u64);
     if let Some(s) = sink.as_deref_mut() {
         if let Err(e) = s.begin(spec, coords.len(), opts.refine_meta) {
             warnings.push(RunWarning {
@@ -491,7 +528,14 @@ pub(crate) fn execute(
     let mut cells: Vec<CellRecord> = Vec::with_capacity(coords.len());
     let mut failed_cells: Vec<FailedCell> = Vec::new();
     let mut emitted = 0usize;
+    // Work-steal accounting is process-global in the vendored pool, so
+    // snapshot around the fan-out and report the delta (host plane: the
+    // numbers move with thread count and machine load by design).
+    let pool_before = rayon::pool_stats();
+    let cells_t0 = Instant::now();
+    let mut heartbeat = opts.heartbeat.map(Heartbeat::new);
     for batch in coords.chunks(STREAM_BATCH) {
+        let batch_t0 = Instant::now();
         // Journal and cache lookups first; the parallel fan-out then only
         // sees undecided cells (in enumeration order, so results align
         // back by index).
@@ -567,6 +611,21 @@ pub(crate) fn execute(
                 })
                 .collect();
             let global: Vec<u64> = pending.iter().map(|&i| batch[i].index as u64).collect();
+            if attempt > 1 {
+                telemetry.host_count("retry.attempts", jobs.len() as u64);
+            }
+            if let Some(chaos) = opts.chaos.as_ref() {
+                // The panic schedule is a pure function of (cell index,
+                // attempt), so injections are countable without touching
+                // the worker threads.
+                let injected = global
+                    .iter()
+                    .filter(|&&g| chaos.should_panic(g, attempt).is_some())
+                    .count();
+                if injected > 0 {
+                    telemetry.host_count("chaos.injections", injected as u64);
+                }
+            }
             let inject = opts
                 .chaos
                 .as_ref()
@@ -633,18 +692,36 @@ pub(crate) fn execute(
                         },
                         (None, None) => unreachable!("every cell is decided by now"),
                     };
-                    if let Err(e) = j.append(c.index, &entry) {
-                        warnings.push(RunWarning {
-                            component: "journal",
-                            message: format!("journal write: {e}; journaling disabled"),
-                        });
-                        journal = None;
+                    match j.append(c.index, &entry) {
+                        Ok(bytes) => {
+                            telemetry.host_count("journal.bytes_written", bytes as u64);
+                        }
+                        Err(e) => {
+                            warnings.push(RunWarning {
+                                component: "journal",
+                                message: format!("journal write: {e}; journaling disabled"),
+                            });
+                            journal = None;
+                        }
                     }
                 }
             }
 
             match (summaries[i].take(), &failures[i]) {
                 (Some(mut summary), _) => {
+                    // Engine counters merge in enumeration order from the
+                    // summary — which rides through cache and journal —
+                    // so the totals are byte-identical whether the cell
+                    // was computed, cache-served, or journal-replayed.
+                    telemetry.count("cells.ok", 1);
+                    telemetry.count("engine.reconfigurations", summary.reconfigurations);
+                    telemetry.count("engine.nodes_switched_on", summary.nodes_switched_on);
+                    telemetry.count("engine.nodes_switched_off", summary.nodes_switched_off);
+                    telemetry.count("engine.instance_migrations", summary.instance_migrations);
+                    telemetry.count("engine.violation_seconds", summary.violation_seconds);
+                    telemetry.count("engine.segments_batched", summary.segments_batched);
+                    telemetry.count("engine.events_skipped", summary.events_skipped);
+                    telemetry.count("engine.fallback_unsegmented", summary.fallback_unsegmented);
                     let optimal = optima[&(c.trace, c.catalog, c.split)];
                     summary.optimal_energy_j = Some(optimal);
                     summary.optimality_gap = if optimal > 0.0 {
@@ -677,6 +754,7 @@ pub(crate) fn execute(
                     cells.push(record);
                 }
                 (None, Some((attempts, digest))) => {
+                    telemetry.count("cells.failed", 1);
                     failed_cells.push(FailedCell {
                         labels: spec.cell_labels(c),
                         coords: *c,
@@ -687,6 +765,18 @@ pub(crate) fn execute(
                 (None, None) => unreachable!("every cell is decided by now"),
             }
             emitted += 1;
+            if let Some(hb) = heartbeat.as_mut() {
+                if hb.ready() {
+                    let ms = u64::try_from(hb.elapsed().as_millis())
+                        .unwrap_or(u64::MAX)
+                        .max(1);
+                    let rate = (emitted as u64).saturating_mul(1000) / ms;
+                    eprintln!(
+                        "{{\"event\":\"heartbeat\",\"cells_done\":{emitted},\"cells_total\":{},\"elapsed_ms\":{ms},\"cells_per_s\":{rate}}}",
+                        coords.len()
+                    );
+                }
+            }
             if opts.kill_after == Some(emitted) {
                 return Err(format!(
                     "simulated crash: killed after {emitted} of {} cells (journal durable at {})",
@@ -698,7 +788,25 @@ pub(crate) fn execute(
                 ));
             }
         }
+        telemetry.timings.observe_us(
+            "batch.wall_us",
+            u64::try_from(batch_t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
     }
+    telemetry.span("phase.cells", cells_t0.elapsed());
+    let pool_after = rayon::pool_stats();
+    telemetry.host_count(
+        "pool.tasks",
+        pool_after.tasks.saturating_sub(pool_before.tasks),
+    );
+    telemetry.host_count(
+        "pool.steals",
+        pool_after.steals.saturating_sub(pool_before.steals),
+    );
+    telemetry.host_count("cache.cell_lookups", stats.lookups);
+    telemetry.host_count("cache.cell_hits", stats.hits);
+    telemetry.host_count("cache.opt_lookups", stats.opt_lookups);
+    telemetry.host_count("cache.opt_hits", stats.opt_hits);
 
     let outcome = GridOutcome {
         spec: spec.clone(),
@@ -718,6 +826,7 @@ pub(crate) fn execute(
         outcome,
         cache: stats,
         warnings,
+        telemetry,
     })
 }
 
@@ -815,6 +924,19 @@ mod tests {
         assert_eq!(warm.outcome, plain, "warm cache must not change results");
         assert_eq!(warm.cache.hits, 2);
         assert_eq!(warm.cache.opt_hits, warm.cache.opt_lookups);
+        // The deterministic telemetry plane must not notice the cache
+        // temperature; the host plane is where the hits show up.
+        assert_eq!(
+            cold.telemetry.render_counters(),
+            warm.telemetry.render_counters(),
+            "counters are cache-temperature-blind"
+        );
+        assert_eq!(warm.telemetry.counters.get("cells.ok"), 2);
+        assert_eq!(warm.telemetry.counters.get("cells.failed"), 0);
+        assert_eq!(warm.telemetry.counters.get("cells.total"), 2);
+        assert!(warm.telemetry.counters.get("engine.segments_batched") > 0);
+        assert_eq!(warm.telemetry.timings.host_get("cache.cell_hits"), 2);
+        assert_eq!(cold.telemetry.timings.host_get("cache.cell_hits"), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -52,7 +52,11 @@ pub const JOURNAL_NAME: &str = "BENCH_grid.journal";
 
 /// Version tag of the journal encoding. Bump on any framing or payload
 /// change; old journals then fingerprint-mismatch and are ignored.
-pub const JOURNAL_FORMAT: &str = "bml-grid-journal/v1";
+///
+/// v2: success payloads carry the engine batching counters
+/// (`segments_batched`, `events_skipped`, `fallback_unsegmented`) via
+/// the cell cache's v2 summary encoding.
+pub const JOURNAL_FORMAT: &str = "bml-grid-journal/v2";
 
 /// One durable per-cell decision.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,12 +170,14 @@ impl Journal {
 
     /// Append one decided cell and push it to the OS — the decision is
     /// durable (up to a crash mid-write, which replay recovers from)
-    /// before the executor moves on.
+    /// before the executor moves on. Returns the bytes written (fed to
+    /// the telemetry host plane; host-dependent under resume, so never
+    /// a deterministic counter).
     ///
     /// Chaos faults apply here: an injected I/O error surfaces as `Err`
     /// (the executor degrades), a torn write silently persists only a
     /// prefix (discovered by the next resume's checksum walk).
-    pub fn append(&mut self, index: usize, entry: &CellEntry) -> io::Result<()> {
+    pub fn append(&mut self, index: usize, entry: &CellEntry) -> io::Result<usize> {
         if let Some(chaos) = &self.chaos {
             if let Some(e) = chaos.io_error(STREAM_JOURNAL_IO, index as u64) {
                 return Err(e);
@@ -183,7 +189,8 @@ impl Journal {
             .as_ref()
             .and_then(|c| c.torn_len(record.len(), index as u64))
             .unwrap_or(record.len());
-        self.file.write_all(&record[..keep])
+        self.file.write_all(&record[..keep])?;
+        Ok(keep)
     }
 }
 
@@ -287,6 +294,9 @@ mod tests {
             nodes_switched_off: 1,
             reconfig_energy_j: 50.0,
             instance_migrations: 0,
+            segments_batched: 88,
+            events_skipped: 1_234,
+            fallback_unsegmented: 0,
             stepping_effective: Stepping::EventDriven,
             optimal_energy_j: None,
             optimality_gap: None,

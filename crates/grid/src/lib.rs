@@ -87,7 +87,7 @@ pub mod stream;
 
 pub use aggregate::{pareto_frontier, per_dimension_bests, DimensionBest};
 pub use artifact::{render_csv, render_json, render_json_with, write_artifacts, SCHEMA};
-pub use cache::{CacheStats, CellCache};
+pub use cache::{CacheStats, CellCache, OptEntry};
 pub use chaos::ChaosPolicy;
 pub use executor::{
     run_grid, CellRecord, FailedCell, GridOutcome, GridRun, GridRunner, RunWarning,

@@ -94,6 +94,9 @@ pub struct RefineOutcome {
     pub meta: RefineMeta,
     /// Cache counters accumulated across every round.
     pub cache: CacheStats,
+    /// Telemetry accumulated across every round (both planes absorbed in
+    /// round order; see [`bml_obs::Recorder::absorb`]).
+    pub telemetry: bml_obs::Recorder,
     /// Shape of each executed round, seed first.
     pub rounds: Vec<RoundReport>,
 }
@@ -125,6 +128,7 @@ pub(crate) fn drive(
     )?;
     let seeded_cells = run.outcome.cells.len() as u64;
     let mut stats = run.cache;
+    let mut telemetry = std::mem::take(&mut run.telemetry);
     let mut rounds = vec![RoundReport {
         round: 0,
         n_cells: run.outcome.cells.len(),
@@ -150,6 +154,7 @@ pub(crate) fn drive(
             &mut no_sink,
         )?;
         stats.absorb(r.cache);
+        telemetry.absorb(&r.telemetry);
         run = r;
         rounds.push(RoundReport {
             round: rounds.len() as u32,
@@ -179,6 +184,7 @@ pub(crate) fn drive(
         outcome: run.outcome,
         meta,
         cache: stats,
+        telemetry,
         rounds,
     })
 }

@@ -92,6 +92,71 @@ fn cold_and_warm_cache_render_the_same_bytes_across_thread_counts() {
 }
 
 #[test]
+fn telemetry_counters_are_byte_identical_across_thread_counts() {
+    let spec = spec();
+    let one = GridRunner::new(&spec).threads(1).run().unwrap();
+    let many = GridRunner::new(&spec).threads(8).run().unwrap();
+    // The deterministic plane renders the same bytes whatever the worker
+    // count; the timing plane is explicitly excluded from the comparison
+    // (wall clock and steal counts legitimately differ).
+    assert_eq!(
+        one.telemetry.render_counters(),
+        many.telemetry.render_counters(),
+        "counters diverged between 1 and 8 threads"
+    );
+    // Sanity on the content: the ok/failed partition covers the grid.
+    let c = &one.telemetry.counters;
+    assert_eq!(
+        c.get("cells.ok") + c.get("cells.failed"),
+        c.get("cells.total")
+    );
+    assert_eq!(c.get("cells.total") as usize, spec.n_cells());
+    assert!(c.get("engine.segments_batched") > 0, "event path counted");
+    assert!(c.get("opt.solves") > 0, "optima loop counted");
+}
+
+#[test]
+fn telemetry_counters_are_cache_temperature_blind() {
+    let dir = std::env::temp_dir().join("bml_grid_determinism_telemetry_cache");
+    std::fs::remove_dir_all(&dir).ok();
+    let spec = spec();
+    let cold = GridRunner::new(&spec)
+        .threads(8)
+        .cache_dir(&dir)
+        .run()
+        .unwrap();
+    let warm = GridRunner::new(&spec)
+        .threads(1)
+        .cache_dir(&dir)
+        .run()
+        .unwrap();
+    assert_eq!(
+        warm.cache.hits, warm.cache.lookups,
+        "warm run must fully hit"
+    );
+    assert_eq!(
+        cold.telemetry.render_counters(),
+        warm.telemetry.render_counters(),
+        "counters diverged between cold and warm cache"
+    );
+    // The cache temperature is visible exactly where it belongs: on the
+    // host plane.
+    assert_eq!(cold.telemetry.timings.host_get("cache.cell_hits"), 0);
+    assert_eq!(
+        warm.telemetry.timings.host_get("cache.cell_hits"),
+        warm.cache.hits
+    );
+    // An uncached run merges the same counter bytes too.
+    let plain = GridRunner::new(&spec).threads(4).run().unwrap();
+    assert_eq!(
+        plain.telemetry.render_counters(),
+        cold.telemetry.render_counters(),
+        "counters diverged between cached and uncached runs"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cache_keys_are_content_addressed_not_positional() {
     // Same cells reached through different spec shapes (value order
     // swapped) must hit the same entries: keys hash content, not the

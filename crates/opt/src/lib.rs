@@ -113,6 +113,14 @@ pub struct OptimalSchedule {
     pub n_states: usize,
     /// Number of constant-load segments (diagnostics).
     pub n_segments: usize,
+    /// Number of segment boundaries the DP crossed
+    /// (`n_segments - 1`, 0 for empty traces) — the unit of transition
+    /// work, reported to telemetry.
+    pub n_boundaries: usize,
+    /// States the beam INF'd out during the forward pass (0 for the
+    /// exact DP). Deterministic for a fixed trace/options, so it lives
+    /// on the counters plane of run telemetry.
+    pub states_pruned: u64,
 }
 
 /// Per-architecture transition prices, derived once from the profiles.
@@ -193,6 +201,12 @@ struct Dp<'a> {
     /// Lattice cell of each state.
     cell_of: Vec<usize>,
     beam: Option<usize>,
+    /// Running count of beam-pruned states (interior mutability because
+    /// pruning happens under `&self`); the forward-pass snapshot is what
+    /// [`OptimalSchedule::states_pruned`] reports — the backtrack's
+    /// window recomputations re-prune the same boundaries and must not
+    /// inflate it.
+    pruned: std::cell::Cell<u64>,
 }
 
 impl<'a> Dp<'a> {
@@ -302,6 +316,7 @@ impl<'a> Dp<'a> {
             box_size,
             cell_of,
             beam: opts.beam_width,
+            pruned: std::cell::Cell::new(0),
         }
     }
 
@@ -343,6 +358,8 @@ impl<'a> Dp<'a> {
             return;
         }
         order.sort_by(|&x, &y| dp[x].partial_cmp(&dp[y]).unwrap().then(x.cmp(&y)));
+        self.pruned
+            .set(self.pruned.get() + (order.len() - w) as u64);
         for &s in &order[w..] {
             dp[s] = INF;
         }
@@ -407,8 +424,9 @@ impl<'a> Dp<'a> {
     }
 
     /// Forward pass + windowed backtrack. Returns the optimal state per
-    /// segment, or `None` when the (beam-pruned) DP dead-ends.
-    fn solve_path(&self) -> Option<Vec<usize>> {
+    /// segment plus the forward pass's beam-prune count, or `None` when
+    /// the (beam-pruned) DP dead-ends.
+    fn solve_path(&self) -> Option<(Vec<usize>, u64)> {
         let k = self.k();
         let s_count = self.segs.len();
         let mut dp: Vec<f64> = (0..k).map(|s| self.serve_energy(0, s)).collect();
@@ -421,6 +439,7 @@ impl<'a> Dp<'a> {
                 checkpoints.push(dp.clone());
             }
         }
+        let forward_pruned = self.pruned.get();
         let (mut best_s, mut best_v) = (usize::MAX, INF);
         for (s, &v) in dp.iter().enumerate() {
             if v < best_v {
@@ -474,7 +493,7 @@ impl<'a> Dp<'a> {
             }
             hi = w0;
         }
-        Some(path)
+        Some((path, forward_pruned))
     }
 
     /// Total energy of a state path, priced canonically (serve + direct
@@ -571,16 +590,20 @@ pub fn solve(
             schedule: Vec::new(),
             n_states: 0,
             n_segments: 0,
+            n_boundaries: 0,
+            states_pruned: 0,
         });
     }
     let dp = Dp::build(trace, bml, split, opts);
-    let path = dp.solve_path()?;
+    let (path, states_pruned) = dp.solve_path()?;
     Some(OptimalSchedule {
         energy_j: dp.path_energy(&path),
         initial: dp.states[path[0]].clone(),
         schedule: dp.schedule(&path),
         n_states: dp.k(),
         n_segments: dp.segs.len(),
+        n_boundaries: dp.segs.len() - 1,
+        states_pruned,
     })
 }
 
@@ -661,6 +684,48 @@ mod tests {
         assert_eq!(s.energy_j, 0.0);
         assert!(s.schedule.is_empty());
         assert_eq!(s.initial, vec![0, 0, 0]);
+        assert_eq!((s.n_boundaries, s.states_pruned), (0, 0));
+    }
+
+    #[test]
+    fn solver_stats_count_boundaries_and_prunes() {
+        let bml = bml();
+        let mut rates = vec![100.0; 60];
+        rates.extend(vec![900.0; 60]);
+        rates.extend(vec![5.0; 60]);
+        let trace = LoadTrace::new(0, rates);
+        let exact = solve(&trace, &bml, greedy(), &OptOptions::default()).unwrap();
+        assert_eq!(exact.n_segments, 3);
+        assert_eq!(exact.n_boundaries, 2);
+        assert_eq!(exact.states_pruned, 0, "exact DP never prunes");
+        let beam = solve(
+            &trace,
+            &bml,
+            greedy(),
+            &OptOptions {
+                beam_width: Some(1),
+                extra_states: vec![],
+            },
+        );
+        if let Some(beam) = beam {
+            assert!(
+                beam.states_pruned > 0,
+                "width-1 beam over {} states must prune",
+                beam.n_states
+            );
+            // Counting is deterministic: same inputs, same count.
+            let again = solve(
+                &trace,
+                &bml,
+                greedy(),
+                &OptOptions {
+                    beam_width: Some(1),
+                    extra_states: vec![],
+                },
+            )
+            .unwrap();
+            assert_eq!(again.states_pruned, beam.states_pruned);
+        }
     }
 
     #[test]

@@ -385,6 +385,20 @@ pub struct ScenarioResult {
     pub instance_migrations: u64,
     /// Machine crashes injected by the failure model.
     pub failures_injected: u64,
+    /// Constant-load spans the event-driven loop batched into single
+    /// meter updates. 0 in per-second mode (nothing is batched there) —
+    /// a *mode-dependent* telemetry counter, deliberately excluded from
+    /// [`ScenarioResult::check_replay_equivalent`].
+    pub segments_batched: u64,
+    /// Simulated seconds the event-driven loop never ticked (trace
+    /// length minus decision epochs) — the skip-ahead win. 0 in
+    /// per-second mode; mode-dependent like `segments_batched`.
+    pub events_skipped: u64,
+    /// 1 when an [`Stepping::EventDriven`] request fell back to the
+    /// per-second loop because the predictor is not segmented (EWMA,
+    /// last-value), 0 otherwise — the machine-readable fallback reason
+    /// behind `stepping_effective`.
+    pub fallback_unsegmented: u64,
     /// The stepping loop that actually ran: [`Stepping::EventDriven`]
     /// requests fall back to [`Stepping::PerSecond`] for non-segmented
     /// predictors (see the module docs), and this field records the
@@ -431,6 +445,13 @@ pub struct CellSummary {
     pub reconfig_energy_j: f64,
     /// Stop+start instance migrations.
     pub instance_migrations: u64,
+    /// Event-loop spans batched; see [`ScenarioResult::segments_batched`].
+    pub segments_batched: u64,
+    /// Seconds skipped; see [`ScenarioResult::events_skipped`].
+    pub events_skipped: u64,
+    /// Per-second fallback flag; see
+    /// [`ScenarioResult::fallback_unsegmented`].
+    pub fallback_unsegmented: u64,
     /// The stepping loop that actually ran (fallback audit; see
     /// [`ScenarioResult::stepping_effective`]).
     pub stepping_effective: Stepping,
@@ -454,6 +475,9 @@ impl ScenarioResult {
             nodes_switched_off: self.nodes_switched_off,
             reconfig_energy_j: self.reconfig_energy_j,
             instance_migrations: self.instance_migrations,
+            segments_batched: self.segments_batched,
+            events_skipped: self.events_skipped,
+            fallback_unsegmented: self.fallback_unsegmented,
             stepping_effective: self.stepping_effective,
             optimal_energy_j: self.optimal_energy_j,
             optimality_gap: self.optimality_gap,
@@ -614,7 +638,8 @@ pub fn simulate_bml(
     if use_events {
         simulate_event_driven(trace, bml, predictor, config)
     } else {
-        simulate_per_second(trace, bml, predictor, config)
+        let fallback = config.stepping == Stepping::EventDriven;
+        simulate_per_second(trace, bml, predictor, config, fallback)
     }
 }
 
@@ -628,6 +653,12 @@ struct EngineState<'a> {
     migrations: u64,
     failures: Option<FailureSampler>,
     failures_injected: u64,
+    /// Telemetry counters; see [`ScenarioResult::segments_batched`] /
+    /// `events_skipped` / `fallback_unsegmented`. The running loop fills
+    /// in whichever apply before `finish`.
+    segments_batched: u64,
+    events_skipped: u64,
+    fallback_unsegmented: u64,
     reconfig_log: Vec<ReconfigRecord>,
     /// Reused online-counts buffer for the per-step power query.
     counts_scratch: Vec<u32>,
@@ -661,6 +692,9 @@ impl<'a> EngineState<'a> {
                 .as_ref()
                 .and_then(|m| FailureSampler::new(m, n)),
             failures_injected: 0,
+            segments_batched: 0,
+            events_skipped: 0,
+            fallback_unsegmented: 0,
             reconfig_log: Vec::new(),
             counts_scratch: Vec::with_capacity(n),
         }
@@ -733,6 +767,9 @@ impl<'a> EngineState<'a> {
             reconfig_energy_j: stats.reconfig_energy,
             instance_migrations: self.migrations,
             failures_injected: self.failures_injected,
+            segments_batched: self.segments_batched,
+            events_skipped: self.events_skipped,
+            fallback_unsegmented: self.fallback_unsegmented,
             stepping_effective,
             reconfig_log: self.reconfig_log,
             daily_energy_j: self.meter.into_daily_joules(),
@@ -748,8 +785,10 @@ fn simulate_per_second(
     bml: &BmlInfrastructure,
     predictor: &mut dyn Predictor,
     config: &SimConfig,
+    fallback_unsegmented: bool,
 ) -> ScenarioResult {
     let mut st = EngineState::new(bml, predictor, config);
+    st.fallback_unsegmented = u64::from(fallback_unsegmented);
 
     for t in 0..trace.len() {
         st.cluster.tick(t);
@@ -781,7 +820,9 @@ fn simulate_event_driven(
     let mut st = EngineState::new(bml, predictor, config);
     let n = trace.len();
     let mut now = 0u64;
+    let mut decision_epochs = 0u64;
     while now < n {
+        decision_epochs += 1;
         st.cluster.tick(now);
         st.sync_failures(now);
         let prediction = if st.sched.is_locked(now) {
@@ -820,10 +861,14 @@ fn simulate_event_driven(
             let (power, served) = st.cluster.power_into(load, &mut st.counts_scratch);
             st.meter.accumulate_span(power, span_end - t);
             st.qos.record_span(load, served, span_end - t);
+            st.segments_batched += 1;
             t = span_end;
         }
         now = next;
     }
+    // Each loop iteration is one decision epoch; the per-second loop
+    // would have ticked every one of the `n` seconds.
+    st.events_skipped = n - decision_epochs;
     st.finish(Stepping::EventDriven)
 }
 
@@ -1208,6 +1253,60 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    #[test]
+    fn engine_counters_expose_batching_on_the_fast_path() {
+        // Mode-independent counters (reconfigurations, failure epochs)
+        // agree across steppings; stepping-only counters (segments
+        // batched, events skipped) are non-zero exactly on the event
+        // path. This is the telemetry contract the grid rides on.
+        let trace = synthetic::diurnal(5.0, 800.0, 4.0, 1);
+        let cfg = SimConfig {
+            failures: Some(FailureModel::new(2_000.0, 30, 11)),
+            ..Default::default()
+        };
+        let event = run(
+            &trace,
+            &SimConfig {
+                stepping: Stepping::EventDriven,
+                ..cfg.clone()
+            },
+        );
+        let per_second = run(
+            &trace,
+            &SimConfig {
+                stepping: Stepping::PerSecond,
+                ..cfg
+            },
+        );
+        assert_eq!(event.reconfigurations, per_second.reconfigurations);
+        assert_eq!(event.failures_injected, per_second.failures_injected);
+        // The fast path actually batched and skipped.
+        assert!(event.segments_batched > 0, "no spans batched");
+        assert!(event.events_skipped > 0, "no seconds skipped");
+        assert!(event.events_skipped < trace.len(), "skip count overran");
+        assert_eq!(event.fallback_unsegmented, 0);
+        // The reference loop batches and skips nothing, and an honored
+        // PerSecond request is not a fallback.
+        assert_eq!(per_second.segments_batched, 0);
+        assert_eq!(per_second.events_skipped, 0);
+        assert_eq!(per_second.fallback_unsegmented, 0);
+        // Summaries carry the counters through to grid aggregation.
+        assert_eq!(event.summary().segments_batched, event.segments_batched);
+        assert_eq!(event.summary().events_skipped, event.events_skipped);
+    }
+
+    #[test]
+    fn fallback_reason_counter_marks_unsegmented_predictors() {
+        let trace = synthetic::constant(100.0, 500);
+        let bml = bml();
+        let mut p = bml_trace::EwmaPredictor::new(&trace, 0.5);
+        let r = simulate_bml(&trace, &bml, &mut p, &SimConfig::default());
+        assert_eq!(r.stepping_effective, Stepping::PerSecond);
+        assert_eq!(r.fallback_unsegmented, 1, "fallback must be recorded");
+        assert_eq!(r.segments_batched, 0);
+        assert_eq!(r.summary().fallback_unsegmented, 1);
     }
 
     #[test]

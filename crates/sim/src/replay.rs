@@ -138,6 +138,9 @@ pub fn replay_schedule(
         reconfig_energy_j: reconfig_energy,
         instance_migrations: 0,
         failures_injected: 0,
+        segments_batched: 0,
+        events_skipped: 0,
+        fallback_unsegmented: 0,
         stepping_effective: Stepping::EventDriven,
         reconfig_log: log,
         daily_energy_j: meter.into_daily_joules(),

@@ -64,6 +64,9 @@ fn homogeneous_scenario(
         reconfig_energy_j: 0.0,
         instance_migrations: 0,
         failures_injected: 0,
+        segments_batched: 0,
+        events_skipped: 0,
+        fallback_unsegmented: 0,
         // Analytic replays batch over constant-load runs by construction.
         stepping_effective: Stepping::EventDriven,
         reconfig_log: Vec::new(),
@@ -143,6 +146,9 @@ pub fn lower_bound_theoretical(
         reconfig_energy_j: 0.0,
         instance_migrations: 0,
         failures_injected: 0,
+        segments_batched: 0,
+        events_skipped: 0,
+        fallback_unsegmented: 0,
         // Analytic replays batch over constant-load runs by construction.
         stepping_effective: Stepping::EventDriven,
         reconfig_log: Vec::new(),

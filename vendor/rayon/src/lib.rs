@@ -38,6 +38,33 @@ use std::cell::{Cell, UnsafeCell};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+/// Process-global scheduler telemetry (monotone since process start).
+/// Host-dependent by nature — how often workers steal depends on timing —
+/// so consumers must report these on the host plane of their telemetry,
+/// never the deterministic one.
+static POOL_TASKS: AtomicU64 = AtomicU64::new(0);
+static POOL_STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the shim's global scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Items executed by parallel maps since process start (sequential
+    /// fallbacks included — every item is a task).
+    pub tasks: u64,
+    /// Successful range steals since process start (a steal is one
+    /// worker installing the back half of a peer's remaining range).
+    pub steals: u64,
+}
+
+/// Read the global scheduler counters. Callers interested in one run
+/// take a snapshot before and after and subtract.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        tasks: POOL_TASKS.load(Ordering::Relaxed),
+        steals: POOL_STEALS.load(Ordering::Relaxed),
+    }
+}
+
 std::thread_local! {
     /// Worker-count override installed by [`ThreadPool::install`] on the
     /// calling thread. `run_parallel` reads it on the caller, so the
@@ -294,6 +321,7 @@ fn run_parallel<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -
     // the payload is resumed on the caller below (observationally the
     // same panic) or `f` never panicked.
     let call = |item: I| std::panic::catch_unwind(AssertUnwindSafe(|| f(item)));
+    POOL_TASKS.fetch_add(n as u64, Ordering::Relaxed);
     if n <= 1 || workers <= 1 {
         return drain(items.into_iter().map(call).collect());
     }
@@ -338,7 +366,10 @@ fn run_parallel<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -
                 match steal_half(w, ranges) {
                     // Own range is empty and nobody steals from an empty
                     // range, so a plain store cannot race a thief's CAS.
-                    Some(loot) => ranges[w].store(loot, Ordering::Release),
+                    Some(loot) => {
+                        POOL_STEALS.fetch_add(1, Ordering::Relaxed);
+                        ranges[w].store(loot, Ordering::Release);
+                    }
                     // In-flight items remain but nothing is stealable yet
                     // (a thief may be about to install loot): stay up.
                     None => std::thread::yield_now(),
@@ -612,6 +643,33 @@ mod tests {
         let msg = payload.downcast_ref::<&str>().expect("&str payload");
         assert_eq!(*msg, "b exploded");
         assert!(a_ran.load(Ordering::Relaxed), "a's side must have run");
+    }
+
+    /// The global counters move: tasks by exactly the map size, steals
+    /// whenever a forced-starvation workload makes workers poach.
+    #[test]
+    fn pool_stats_count_tasks_and_steals() {
+        let before = super::pool_stats();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let v: Vec<u64> = (0..600).collect();
+        let out: Vec<u64> = pool.install(|| {
+            v.par_iter()
+                .map(|&x| {
+                    if x < 4 {
+                        std::thread::sleep(std::time::Duration::from_millis(15));
+                    }
+                    x + 1
+                })
+                .collect()
+        });
+        assert_eq!(out.len(), 600);
+        let after = super::pool_stats();
+        // Other tests run concurrently, so only lower-bound the deltas.
+        assert!(after.tasks >= before.tasks + 600);
+        assert!(after.steals >= before.steals, "steals are monotone");
     }
 
     #[test]
